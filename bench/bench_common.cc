@@ -1,0 +1,119 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+
+#include "src/common/format.h"
+#include "src/trace/trace_stats.h"
+
+namespace coopfs {
+
+BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--events") == 0) {
+      options.events = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      options.seed = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--auspex-events") == 0) {
+      options.auspex_events = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  // Environment override so `for b in bench/*; do $b; done` can be scaled.
+  if (const char* env = std::getenv("COOPFS_BENCH_EVENTS"); env != nullptr) {
+    options.events = std::strtoull(env, nullptr, 10);
+  }
+  if (const char* env = std::getenv("COOPFS_BENCH_AUSPEX_EVENTS"); env != nullptr) {
+    options.auspex_events = std::strtoull(env, nullptr, 10);
+  }
+  return options;
+}
+
+namespace {
+// Memoized traces, keyed by (seed, events). Bench binaries are short-lived
+// single-threaded programs; a static cache is fine.
+std::map<std::pair<std::uint64_t, std::uint64_t>, Trace>& SpriteCache() {
+  static auto* cache = new std::map<std::pair<std::uint64_t, std::uint64_t>, Trace>();
+  return *cache;
+}
+std::map<std::pair<std::uint64_t, std::uint64_t>, Trace>& AuspexCache() {
+  static auto* cache = new std::map<std::pair<std::uint64_t, std::uint64_t>, Trace>();
+  return *cache;
+}
+}  // namespace
+
+const Trace& SpriteTrace(const BenchOptions& options) {
+  const auto key = std::make_pair(options.seed, options.events);
+  auto it = SpriteCache().find(key);
+  if (it == SpriteCache().end()) {
+    WorkloadConfig config = SpriteWorkloadConfig(options.seed);
+    config.num_events = options.events;
+    std::fprintf(stderr, "[bench] generating Sprite-like trace (%llu events)...\n",
+                 static_cast<unsigned long long>(options.events));
+    it = SpriteCache().emplace(key, GenerateWorkload(config)).first;
+  }
+  return it->second;
+}
+
+const Trace& AuspexTrace(const BenchOptions& options) {
+  const auto key = std::make_pair(options.seed, options.auspex_events);
+  auto it = AuspexCache().find(key);
+  if (it == AuspexCache().end()) {
+    WorkloadConfig config = AuspexWorkloadConfig(options.seed + 1994);
+    config.num_events = options.auspex_events;
+    std::fprintf(stderr, "[bench] generating Auspex-like trace (%llu visible events)...\n",
+                 static_cast<unsigned long long>(options.auspex_events));
+    it = AuspexCache().emplace(key, GenerateWorkload(config)).first;
+  }
+  return it->second;
+}
+
+SimulationConfig PaperConfig(const BenchOptions& options, std::uint64_t trace_events) {
+  SimulationConfig config;
+  config.WithClientCacheMiB(16).WithServerCacheMiB(128);
+  config.warmup_events = options.WarmupFor(trace_events);
+  config.seed = options.seed;
+  return config;
+}
+
+SimulationResult MustRun(Simulator& simulator, Policy& policy) {
+  Result<SimulationResult> result = simulator.Run(policy);
+  if (!result.ok()) {
+    std::fprintf(stderr, "simulation of %s failed: %s\n", policy.Name().c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(result);
+}
+
+SimulationResult MustRun(Simulator& simulator, PolicyKind kind, const PolicyParams& params) {
+  auto policy = MakePolicy(kind, params);
+  return MustRun(simulator, *policy);
+}
+
+void PrintBanner(const std::string& figure, const std::string& what, const BenchOptions& options,
+                 std::uint64_t trace_events) {
+  std::printf("=== %s: %s ===\n", figure.c_str(), what.c_str());
+  std::printf("workload: %llu events, seed %llu, warm-up %llu events\n",
+              static_cast<unsigned long long>(trace_events),
+              static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(options.WarmupFor(trace_events)));
+  std::printf("config: 16 MB/client, 128 MB server, 8 KB blocks, ATM timing "
+              "(250/200/400 us, 14.8 ms disk)\n\n");
+}
+
+std::vector<std::string> ResultRow(const SimulationResult& result,
+                                   const SimulationResult& baseline) {
+  return {result.policy_name,
+          FormatDouble(result.AverageReadTime(), 0) + " us",
+          FormatDouble(result.SpeedupOver(baseline), 2) + "x",
+          FormatPercent(result.LevelFraction(CacheLevel::kLocalMemory)),
+          FormatPercent(result.LevelFraction(CacheLevel::kRemoteClient)),
+          FormatPercent(result.LevelFraction(CacheLevel::kServerMemory)),
+          FormatPercent(result.DiskRate())};
+}
+
+}  // namespace coopfs

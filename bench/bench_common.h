@@ -1,0 +1,61 @@
+// Shared support for the figure-reproduction bench binaries.
+//
+// Every fig*/sec* binary replays the same synthetic Sprite-like workload
+// (the paper's traces 5-6 substitute; see DESIGN.md) under the paper's §4.1
+// default configuration, varying one dimension. Common flags:
+//   --events N   trace length (default 700,000 as in the paper)
+//   --seed S     workload seed (default 42)
+// Warm-up is scaled as in the paper: the first 4/7 of the trace (400k of
+// 700k accesses).
+#ifndef COOPFS_BENCH_BENCH_COMMON_H_
+#define COOPFS_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/policy_factory.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload.h"
+
+namespace coopfs {
+
+struct BenchOptions {
+  std::uint64_t events = 700'000;
+  std::uint64_t seed = 42;
+  std::uint64_t auspex_events = 5'000'000;
+
+  static BenchOptions FromArgs(int argc, char** argv);
+
+  std::uint64_t WarmupFor(std::uint64_t num_events) const { return num_events * 4 / 7; }
+};
+
+// Generates (and memoizes within the process) the Sprite-like trace.
+const Trace& SpriteTrace(const BenchOptions& options);
+
+// Generates the Auspex-like snooped trace (237 clients; §4.4). Uses 1/5 of
+// the events for warm-up, as the paper does (1M of 5M).
+const Trace& AuspexTrace(const BenchOptions& options);
+
+// Paper §4.1 defaults: 16 MB clients, 128 MB server, ATM network; warm-up
+// set to the paper's fraction of `trace_events`.
+SimulationConfig PaperConfig(const BenchOptions& options, std::uint64_t trace_events);
+
+// Runs one policy, aborting the process with a message on failure.
+SimulationResult MustRun(Simulator& simulator, Policy& policy);
+SimulationResult MustRun(Simulator& simulator, PolicyKind kind, const PolicyParams& params = {});
+
+// Prints the standard bench banner: what figure this reproduces and the
+// workload/configuration in play.
+void PrintBanner(const std::string& figure, const std::string& what, const BenchOptions& options,
+                 std::uint64_t trace_events);
+
+// Renders one SimulationResult row ("algorithm, avg time, speedup, level
+// fractions") used by several figures.
+std::vector<std::string> ResultRow(const SimulationResult& result,
+                                   const SimulationResult& baseline);
+
+}  // namespace coopfs
+
+#endif  // COOPFS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,118 @@
+// Micro-benchmarks for the cache substrate data structures, using
+// google-benchmark. These are engineering benchmarks (not paper figures):
+// the trace-replay rate of the whole simulator is bounded by BlockCache,
+// Directory, and LruMap operation costs.
+#include <benchmark/benchmark.h>
+
+#include "src/cache/block_cache.h"
+#include "src/cache/directory.h"
+#include "src/cache/lru_map.h"
+#include "src/common/rng.h"
+#include "src/core/policy_factory.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload.h"
+
+namespace coopfs {
+namespace {
+
+void BM_BlockCacheHit(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  BlockCache cache(capacity);
+  for (std::uint32_t i = 0; i < capacity; ++i) {
+    cache.Insert(BlockId{i, 0});
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    const BlockId block{static_cast<FileId>(rng.NextBelow(capacity)), 0};
+    benchmark::DoNotOptimize(cache.Touch(block));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockCacheHit)->Arg(2048)->Arg(16384);
+
+void BM_BlockCacheMissInsertEvict(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  BlockCache cache(capacity);
+  std::uint32_t next = 0;
+  for (auto _ : state) {
+    while (cache.Full()) {
+      cache.EvictLru();
+    }
+    cache.Insert(BlockId{next++, 0});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockCacheMissInsertEvict)->Arg(2048)->Arg(16384);
+
+void BM_LruMapInsert(benchmark::State& state) {
+  LruMap<std::uint64_t, ClientId> map(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Insert(next++, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruMapInsert)->Arg(4096)->Arg(65536);
+
+void BM_DirectoryAddRemoveHolder(benchmark::State& state) {
+  Directory directory;
+  Rng rng(2);
+  const std::uint64_t blocks = 100'000;
+  for (auto _ : state) {
+    const BlockId block{static_cast<FileId>(rng.NextBelow(blocks)), 0};
+    const auto client = static_cast<ClientId>(rng.NextBelow(42));
+    directory.AddHolder(block, client);
+    directory.RemoveHolder(block, client);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectoryAddRemoveHolder);
+
+void BM_DirectorySingletQuery(benchmark::State& state) {
+  Directory directory;
+  Rng rng(3);
+  for (std::uint32_t i = 0; i < 100'000; ++i) {
+    directory.AddHolder(BlockId{i, 0}, static_cast<ClientId>(i % 42));
+    if (i % 3 == 0) {
+      directory.AddHolder(BlockId{i, 0}, static_cast<ClientId>((i + 1) % 42));
+    }
+  }
+  for (auto _ : state) {
+    const BlockId block{static_cast<FileId>(rng.NextBelow(100'000)), 0};
+    benchmark::DoNotOptimize(directory.IsSingletHeldBy(block, static_cast<ClientId>(0)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectorySingletQuery);
+
+// End-to-end: events per second through the full simulator, per policy.
+void BM_SimulatorThroughput(benchmark::State& state) {
+  static const Trace* trace = [] {
+    WorkloadConfig config = SmallTestWorkloadConfig(5);
+    config.num_events = 50'000;
+    return new Trace(GenerateWorkload(config));
+  }();
+  SimulationConfig config;
+  config.client_cache_blocks = 256;
+  config.server_cache_blocks = 1024;
+  config.warmup_events = 0;
+  Simulator simulator(config, trace);
+  const auto kind = static_cast<PolicyKind>(state.range(0));
+  for (auto _ : state) {
+    auto policy = MakePolicy(kind);
+    benchmark::DoNotOptimize(simulator.Run(*policy));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(trace->size()));
+  state.SetLabel(PolicyKindName(kind));
+}
+BENCHMARK(BM_SimulatorThroughput)
+    ->Arg(static_cast<int>(PolicyKind::kBaseline))
+    ->Arg(static_cast<int>(PolicyKind::kGreedy))
+    ->Arg(static_cast<int>(PolicyKind::kCentralCoord))
+    ->Arg(static_cast<int>(PolicyKind::kNChance))
+    ->Arg(static_cast<int>(PolicyKind::kWeightedLru));
+
+}  // namespace
+}  // namespace coopfs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Compares every implemented cooperative caching algorithm on a Sprite-like
+// workload, reproducing the shape of the paper's Figures 4-6 in one table.
+//
+// Usage: algorithm_comparison [--events N] [--clients N] [--seed S]
+//                             [--client-mb MB] [--server-mb MB]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/format.h"
+#include "src/core/policy_factory.h"
+#include "src/sim/simulator.h"
+#include "src/trace/trace_stats.h"
+#include "src/trace/workload.h"
+
+namespace {
+
+std::uint64_t FlagValue(int argc, char** argv, const char* name, std::uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace coopfs;
+
+  WorkloadConfig workload = SpriteWorkloadConfig(FlagValue(argc, argv, "--seed", 42));
+  workload.num_events = FlagValue(argc, argv, "--events", 700'000);
+  workload.num_clients =
+      static_cast<std::uint32_t>(FlagValue(argc, argv, "--clients", workload.num_clients));
+
+  std::printf("Generating %llu events for %u clients...\n",
+              static_cast<unsigned long long>(workload.num_events), workload.num_clients);
+  const Trace trace = GenerateWorkload(workload);
+  std::printf("%s\n", ComputeTraceStats(trace).ToString().c_str());
+
+  SimulationConfig config;
+  config.WithClientCacheMiB(FlagValue(argc, argv, "--client-mb", 16));
+  config.WithServerCacheMiB(FlagValue(argc, argv, "--server-mb", 128));
+  config.warmup_events = workload.num_events * 4 / 7;  // Paper: 400k of 700k.
+
+  Simulator simulator(config, &trace);
+
+  std::vector<SimulationResult> results;
+  for (PolicyKind kind : AllPolicyKinds()) {
+    auto policy = MakePolicy(kind);
+    Result<SimulationResult> result = simulator.Run(*policy);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", PolicyKindName(kind),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    results.push_back(*std::move(result));
+  }
+
+  const SimulationResult& base = results.front();
+  TableFormatter table({"Algorithm", "Avg read", "Speedup", "Local", "Remote", "ServerMem",
+                        "Disk", "Rel. load"});
+  for (const SimulationResult& r : results) {
+    table.AddRow({r.policy_name, FormatMicros(r.AverageReadTime()),
+                  FormatDouble(r.SpeedupOver(base), 2) + "x",
+                  FormatPercent(r.LevelFraction(CacheLevel::kLocalMemory)),
+                  FormatPercent(r.LevelFraction(CacheLevel::kRemoteClient)),
+                  FormatPercent(r.LevelFraction(CacheLevel::kServerMemory)),
+                  FormatPercent(r.DiskRate()),
+                  FormatPercent(r.RelativeServerLoad(base), 0)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

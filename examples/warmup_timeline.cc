@@ -1,0 +1,72 @@
+// Timeline example: watch cache warm-up and steady-state behaviour over
+// simulated time using SimulationConfig::timeline_interval.
+//
+// Prints hour-by-hour average read latency and disk rate for the baseline
+// and N-Chance over a two-day Sprite-like trace — the picture behind the
+// paper's decision to discard the first 400k accesses as warm-up (§3).
+//
+// Usage: warmup_timeline [--events N] [--seed S]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/common/format.h"
+#include "src/core/policy_factory.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload.h"
+
+namespace {
+
+std::uint64_t FlagValue(int argc, char** argv, const char* name, std::uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace coopfs;
+
+  WorkloadConfig workload = SpriteWorkloadConfig(FlagValue(argc, argv, "--seed", 42));
+  workload.num_events = FlagValue(argc, argv, "--events", 300'000);
+  std::printf("Generating %llu events over %s...\n\n",
+              static_cast<unsigned long long>(workload.num_events),
+              FormatMicros(static_cast<double>(workload.duration)).c_str());
+  const Trace trace = GenerateWorkload(workload);
+
+  SimulationConfig config;
+  config.warmup_events = 0;  // We want to *see* the warm-up.
+  config.timeline_interval = 4LL * 3600 * 1'000'000;  // 4-hour buckets.
+
+  Simulator simulator(config, &trace);
+  auto baseline = MakePolicy(PolicyKind::kBaseline);
+  auto nchance = MakePolicy(PolicyKind::kNChance);
+  const Result<SimulationResult> base = simulator.Run(*baseline);
+  const Result<SimulationResult> coop = simulator.Run(*nchance);
+  if (!base.ok() || !coop.ok()) {
+    std::fprintf(stderr, "simulation failed\n");
+    return 1;
+  }
+
+  TableFormatter table({"Sim. time", "Base avg", "Base disk", "N-Chance avg", "N-Chance disk",
+                        "Speedup"});
+  const std::size_t points = std::min(base->timeline.size(), coop->timeline.size());
+  for (std::size_t i = 0; i < points; ++i) {
+    const auto& b = base->timeline[i];
+    const auto& n = coop->timeline[i];
+    table.AddRow({FormatMicros(static_cast<double>(b.end_time)),
+                  FormatDouble(b.avg_read_time_us, 0) + " us", FormatPercent(b.disk_rate),
+                  FormatDouble(n.avg_read_time_us, 0) + " us", FormatPercent(n.disk_rate),
+                  FormatDouble(b.avg_read_time_us / n.avg_read_time_us, 2) + "x"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Note the cold start: both start disk-bound; the cooperative advantage only\n"
+              "emerges once client caches fill — which is why the paper (and the fig*\n"
+              "benches here) discard the warm-up portion of the trace before measuring.\n");
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Fixed-capacity LRU block cache.
+//
+// One BlockCache models one machine's in-memory file cache: the local cache
+// of every client, each client's private remote cache under Direct Client
+// Cooperation, and the server's central cache. Entries carry the per-block
+// metadata the N-Chance algorithm needs (recirculation count and the
+// "known singlet" flag of paper §2.4) plus a last-reference timestamp for
+// Weighted-LRU.
+//
+// Policies need fine-grained control of replacement (N-Chance's modified
+// victim selection scans from the LRU end), so eviction is explicit: Insert
+// requires free space and callers evict first, either EvictLru() or by
+// scanning with entries in LRU order.
+#ifndef COOPFS_SRC_CACHE_BLOCK_CACHE_H_
+#define COOPFS_SRC_CACHE_BLOCK_CACHE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "src/common/intrusive_list.h"
+#include "src/common/types.h"
+
+namespace coopfs {
+
+struct CacheEntry {
+  BlockId block;
+  IntrusiveListNode lru_node;
+
+  // N-Chance: recirculations remaining. > 0 means this copy is a singlet
+  // recirculating through caches it was forwarded to (global data).
+  std::uint8_t recirculation_count = 0;
+
+  // N-Chance: the client learned this block is the last cached copy but is
+  // holding it as normal local data (no recirculation count set). Spares a
+  // repeat is-singlet query; reset when another client fetches a copy.
+  bool singlet_flag = false;
+
+  // Simulated time of the last reference to this copy (Weighted-LRU ages).
+  Micros last_ref = 0;
+
+  // Delayed-write extension: this copy holds data newer than the server's.
+  bool dirty = false;
+  Micros dirty_since = 0;
+
+  bool recirculating() const { return recirculation_count > 0; }
+};
+
+class BlockCache {
+ public:
+  // Capacity in 8 KB blocks. A zero-capacity cache is legal (e.g. the local
+  // section when 100% of client memory is centrally coordinated) and simply
+  // rejects insertion.
+  explicit BlockCache(std::size_t capacity_blocks) : capacity_(capacity_blocks) {}
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+  BlockCache(BlockCache&&) = delete;
+  BlockCache& operator=(BlockCache&&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  bool Full() const { return size() >= capacity_; }
+  bool CanInsert() const { return capacity_ > 0; }
+
+  bool Contains(BlockId block) const { return entries_.contains(block.Pack()); }
+
+  // Lookup without changing LRU order. Returns nullptr if absent.
+  CacheEntry* Find(BlockId block) {
+    auto it = entries_.find(block.Pack());
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  const CacheEntry* Find(BlockId block) const {
+    auto it = entries_.find(block.Pack());
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  // Lookup and move to the MRU position. Returns nullptr if absent.
+  CacheEntry* Touch(BlockId block) {
+    CacheEntry* entry = Find(block);
+    if (entry != nullptr) {
+      lru_.MoveToFront(entry);
+    }
+    return entry;
+  }
+
+  // Inserts a new entry at the MRU position. Requires space (callers evict
+  // first) and that the block is not already present.
+  CacheEntry& Insert(BlockId block) {
+    assert(CanInsert() && !Full());
+    auto [it, inserted] = entries_.try_emplace(block.Pack());
+    assert(inserted && "block already cached");
+    it->second.block = block;
+    lru_.PushFront(&it->second);
+    return it->second;
+  }
+
+  // Removes `block` if present; returns true if it was.
+  bool Erase(BlockId block) {
+    auto it = entries_.find(block.Pack());
+    if (it == entries_.end()) {
+      return false;
+    }
+    lru_.Remove(&it->second);
+    entries_.erase(it);
+    return true;
+  }
+
+  // The least-recently-used entry, or nullptr when empty.
+  CacheEntry* Lru() { return lru_.Back(); }
+  CacheEntry* Mru() { return lru_.Front(); }
+
+  // Evicts the LRU entry, returning a copy of it.
+  std::optional<CacheEntry> EvictLru() {
+    CacheEntry* victim = Lru();
+    if (victim == nullptr) {
+      return std::nullopt;
+    }
+    CacheEntry copy = *victim;
+    copy.lru_node = IntrusiveListNode{};
+    Erase(victim->block);
+    return copy;
+  }
+
+  // Moves an entry (must belong to this cache) to the MRU / LRU position.
+  void MoveToMru(CacheEntry* entry) { lru_.MoveToFront(entry); }
+  void MoveToLru(CacheEntry* entry) { lru_.MoveToBack(entry); }
+
+  // Visits entries from LRU to MRU until `visitor` returns true (stop) or
+  // `limit` entries have been seen (0 = no limit). Returns the entry the
+  // visitor stopped on, or nullptr. The visitor must not mutate the cache.
+  CacheEntry* ScanFromLru(const std::function<bool(CacheEntry&)>& visitor,
+                          std::size_t limit = 0) {
+    std::size_t seen = 0;
+    for (IntrusiveListNode* node = LruNodeBack(); node != nullptr;) {
+      auto* entry = static_cast<CacheEntry*>(node->owner);
+      IntrusiveListNode* prev = PrevOf(node);
+      if (visitor(*entry)) {
+        return entry;
+      }
+      if (limit != 0 && ++seen >= limit) {
+        return nullptr;
+      }
+      node = prev;
+    }
+    return nullptr;
+  }
+
+  // Visits every entry in unspecified order (introspection/validation).
+  void ForEachEntry(const std::function<void(const CacheEntry&)>& visitor) const {
+    for (const auto& [key, entry] : entries_) {
+      visitor(entry);
+    }
+  }
+
+  // Removes every entry. (Used by tests.)
+  void Clear() {
+    lru_.Clear();
+    entries_.clear();
+  }
+
+ private:
+  // Back (LRU) node or nullptr when empty; Prev walks toward MRU.
+  IntrusiveListNode* LruNodeBack() {
+    CacheEntry* back = lru_.Back();
+    return back == nullptr ? nullptr : &back->lru_node;
+  }
+  IntrusiveListNode* PrevOf(IntrusiveListNode* node) {
+    IntrusiveListNode* prev = node->prev;
+    return (prev == nullptr || prev->owner == nullptr) ? nullptr : prev;
+  }
+
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, CacheEntry> entries_;
+  IntrusiveList<CacheEntry, &CacheEntry::lru_node> lru_;
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_CACHE_BLOCK_CACHE_H_

@@ -1,0 +1,112 @@
+#include "src/cache/directory.h"
+
+#include <algorithm>
+
+namespace coopfs {
+
+namespace {
+const std::vector<ClientId> kEmptyHolders;
+}  // namespace
+
+void Directory::AddHolder(BlockId block, ClientId client) {
+  auto [it, inserted] = holders_.try_emplace(block.Pack());
+  if (inserted) {
+    // First time this block is tracked: register it with its file. Entries
+    // whose holder sets empty later stay registered (and stay in holders_)
+    // so re-adding a holder never duplicates the file index.
+    file_index_[block.file].push_back(block.Pack());
+  }
+  auto& list = it->second.holders;
+  if (std::find(list.begin(), list.end(), client) == list.end()) {
+    list.push_back(client);
+  }
+}
+
+void Directory::RemoveHolder(BlockId block, ClientId client) {
+  auto it = holders_.find(block.Pack());
+  if (it == holders_.end()) {
+    return;
+  }
+  auto& list = it->second.holders;
+  auto pos = std::find(list.begin(), list.end(), client);
+  if (pos != list.end()) {
+    *pos = list.back();
+    list.pop_back();
+  }
+}
+
+std::size_t Directory::HolderCount(BlockId block) const {
+  auto it = holders_.find(block.Pack());
+  return it == holders_.end() ? 0 : it->second.holders.size();
+}
+
+const std::vector<ClientId>& Directory::Holders(BlockId block) const {
+  auto it = holders_.find(block.Pack());
+  return it == holders_.end() ? kEmptyHolders : it->second.holders;
+}
+
+bool Directory::IsSingletHeldBy(BlockId block, ClientId client) const {
+  const auto& list = Holders(block);
+  return list.size() == 1 && list.front() == client;
+}
+
+ClientId Directory::PickHolder(BlockId block, ClientId exclude, Rng& rng) const {
+  const auto& list = Holders(block);
+  std::size_t eligible = 0;
+  for (ClientId holder : list) {
+    if (holder != exclude) {
+      ++eligible;
+    }
+  }
+  if (eligible == 0) {
+    return kNoClient;
+  }
+  std::uint64_t pick = rng.NextBelow(eligible);
+  for (ClientId holder : list) {
+    if (holder != exclude) {
+      if (pick == 0) {
+        return holder;
+      }
+      --pick;
+    }
+  }
+  return kNoClient;
+}
+
+std::vector<BlockId> Directory::BlocksOfFile(FileId file) const {
+  std::vector<BlockId> result;
+  auto it = file_index_.find(file);
+  if (it == file_index_.end()) {
+    return result;
+  }
+  result.reserve(it->second.size());
+  for (std::uint64_t packed : it->second) {
+    const BlockId block = BlockId::Unpack(packed);
+    if (HolderCount(block) > 0) {
+      result.push_back(block);
+    }
+  }
+  return result;
+}
+
+void Directory::EraseBlock(BlockId block) {
+  auto it = holders_.find(block.Pack());
+  if (it == holders_.end()) {
+    return;
+  }
+  holders_.erase(it);
+  auto file_it = file_index_.find(block.file);
+  if (file_it != file_index_.end()) {
+    auto& vec = file_it->second;
+    auto pos = std::find(vec.begin(), vec.end(), block.Pack());
+    if (pos != vec.end()) {
+      *pos = vec.back();
+      vec.pop_back();
+    }
+    if (vec.empty()) {
+      file_index_.erase(file_it);
+    }
+  }
+}
+
+}  // namespace coopfs

@@ -1,0 +1,85 @@
+// Server directory of client cache contents (paper §2.2).
+//
+// Cooperative caching extends the server's per-file callback state to track
+// the individual blocks cached by each client so the server can forward
+// requests. The directory maps each block to the set of clients holding a
+// copy; holder counts make is-this-a-singlet queries O(1) (paper §2.4).
+//
+// The directory also maintains a per-file index of blocks with at least one
+// holder so whole-file deletes and invalidations do not scan every cache.
+#ifndef COOPFS_SRC_CACHE_DIRECTORY_H_
+#define COOPFS_SRC_CACHE_DIRECTORY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace coopfs {
+
+class Directory {
+ public:
+  Directory() = default;
+
+  Directory(const Directory&) = delete;
+  Directory& operator=(const Directory&) = delete;
+
+  // Records that `client` now caches `block`. Idempotent.
+  void AddHolder(BlockId block, ClientId client);
+
+  // Records that `client` no longer caches `block`. No-op if not a holder.
+  void RemoveHolder(BlockId block, ClientId client);
+
+  // Number of client copies of `block`.
+  std::size_t HolderCount(BlockId block) const;
+
+  // All clients caching `block` (unordered). Empty if none.
+  const std::vector<ClientId>& Holders(BlockId block) const;
+
+  // True if the only cached copy of `block` is at `client` (paper: singlet).
+  bool IsSingletHeldBy(BlockId block, ClientId client) const;
+
+  // True if `block` has at least two client copies.
+  bool IsDuplicated(BlockId block) const { return HolderCount(block) >= 2; }
+
+  // A holder other than `exclude`, chosen uniformly at random (kNoClient if
+  // none). Used to forward a read to one of several caching clients.
+  ClientId PickHolder(BlockId block, ClientId exclude, Rng& rng) const;
+
+  // Blocks of `file` with at least one holder. May contain blocks whose
+  // holder sets have since emptied; callers re-check HolderCount.
+  std::vector<BlockId> BlocksOfFile(FileId file) const;
+
+  // Drops all state for `block` (delete/invalidate).
+  void EraseBlock(BlockId block);
+
+  std::size_t NumTrackedBlocks() const { return holders_.size(); }
+
+  // Visits every block with at least one holder (introspection/validation).
+  template <typename Fn>
+  void ForEachBlock(Fn&& visitor) const {
+    for (const auto& [packed, per_block] : holders_) {
+      if (!per_block.holders.empty()) {
+        visitor(BlockId::Unpack(packed), per_block.holders);
+      }
+    }
+  }
+
+ private:
+  struct PerBlock {
+    std::vector<ClientId> holders;  // Small; linear scans are fine.
+  };
+
+  // Removes `file`s bookkeeping for `block` when its holder set empties.
+  void ForgetBlock(BlockId block);
+
+  std::unordered_map<std::uint64_t, PerBlock> holders_;
+  // file -> packed BlockIds with (possibly stale) holder state.
+  std::unordered_map<FileId, std::vector<std::uint64_t>> file_index_;
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_CACHE_DIRECTORY_H_

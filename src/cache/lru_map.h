@@ -1,0 +1,131 @@
+// Generic fixed-capacity LRU map.
+//
+// Used for the server-managed global cache index of the Centrally
+// Coordinated, Hash-Distributed, and best-case policies: an LRU-ordered map
+// from block to the client hosting the globally managed copy (the doubly
+// linked LRU list of the paper's 24-byte directory entries, §2.2).
+#ifndef COOPFS_SRC_CACHE_LRU_MAP_H_
+#define COOPFS_SRC_CACHE_LRU_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/intrusive_list.h"
+
+namespace coopfs {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruMap {
+ public:
+  explicit LruMap(std::size_t capacity) : capacity_(capacity) {}
+
+  LruMap(const LruMap&) = delete;
+  LruMap& operator=(const LruMap&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  bool Full() const { return size() >= capacity_; }
+  bool CanInsert() const { return capacity_ > 0; }
+  bool Contains(const K& key) const { return entries_.contains(key); }
+
+  // Lookup without renewing. Returns nullptr if absent.
+  V* Find(const K& key) {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second.value;
+  }
+
+  // Lookup and renew (move to MRU). Returns nullptr if absent.
+  V* Touch(const K& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return nullptr;
+    }
+    lru_.MoveToFront(&it->second);
+    return &it->second.value;
+  }
+
+  // Inserts (key -> value) at MRU. If the key exists its value is replaced
+  // and the entry renewed. If the map is over capacity afterwards, the LRU
+  // entry is evicted and returned.
+  std::optional<std::pair<K, V>> Insert(const K& key, V value) {
+    assert(CanInsert());
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.value = std::move(value);
+      lru_.MoveToFront(&it->second);
+      return std::nullopt;
+    }
+    auto [new_it, inserted] = entries_.try_emplace(key);
+    new_it->second.key = key;
+    new_it->second.value = std::move(value);
+    lru_.PushFront(&new_it->second);
+    if (size() <= capacity_) {
+      return std::nullopt;
+    }
+    Entry* victim = lru_.Back();
+    std::pair<K, V> evicted{victim->key, std::move(victim->value)};
+    lru_.Remove(victim);
+    entries_.erase(evicted.first);
+    return evicted;
+  }
+
+  bool Erase(const K& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return false;
+    }
+    lru_.Remove(&it->second);
+    entries_.erase(it);
+    return true;
+  }
+
+  // Removes every entry for which `pred(key, value)` returns true; returns
+  // the number removed. O(size); used for rare whole-host invalidations
+  // (e.g. a client reboot dropping its share of the global cache).
+  template <typename Pred>
+  std::size_t EraseIf(Pred&& pred) {
+    std::size_t removed = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (pred(it->second.key, it->second.value)) {
+        lru_.Remove(&it->second);
+        it = entries_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  // Key/value of the LRU entry, or nullopt when empty.
+  std::optional<std::pair<K, V>> LruEntry() const {
+    const Entry* back = lru_.Back();
+    if (back == nullptr) {
+      return std::nullopt;
+    }
+    return std::pair<K, V>{back->key, back->value};
+  }
+
+  void Clear() {
+    lru_.Clear();
+    entries_.clear();
+  }
+
+ private:
+  struct Entry {
+    K key{};
+    V value{};
+    IntrusiveListNode node;
+  };
+
+  std::size_t capacity_;
+  std::unordered_map<K, Entry, Hash> entries_;
+  IntrusiveList<Entry, &Entry::node> lru_;
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_CACHE_LRU_MAP_H_

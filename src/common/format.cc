@@ -1,0 +1,103 @@
+#include "src/common/format.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace coopfs {
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string FormatMicros(double micros) {
+  if (micros >= 1'000'000.0) {
+    return FormatDouble(micros / 1'000'000.0, 2) + " s";
+  }
+  if (micros >= 10'000.0) {
+    return FormatDouble(micros / 1'000.0, 1) + " ms";
+  }
+  return FormatDouble(micros, 0) + " us";
+}
+
+std::string FormatBytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kKiB = 1024;
+  constexpr std::uint64_t kMiB = kKiB * 1024;
+  constexpr std::uint64_t kGiB = kMiB * 1024;
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    return std::to_string(bytes / kGiB) + " GB";
+  }
+  if (bytes >= kMiB) {
+    if (bytes % kMiB == 0) {
+      return std::to_string(bytes / kMiB) + " MB";
+    }
+    return FormatDouble(static_cast<double>(bytes) / static_cast<double>(kMiB), 1) + " MB";
+  }
+  if (bytes >= kKiB && bytes % kKiB == 0) {
+    return std::to_string(bytes / kKiB) + " KB";
+  }
+  return std::to_string(bytes) + " B";
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  return FormatDouble(fraction * 100.0, decimals) + "%";
+}
+
+TableFormatter::TableFormatter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TableFormatter::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableFormatter::AddRule() { rows_.emplace_back(); }
+
+std::string TableFormatter::ToString() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) {
+      widen(row);
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      if (i == 0) {
+        out << cell << std::string(widths[i] - cell.size(), ' ');
+      } else {
+        out << "  " << std::string(widths[i] - cell.size(), ' ') << cell;
+      }
+    }
+    out << "\n";
+  };
+  auto emit_rule = [&] {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      total += widths[i] + (i == 0 ? 0 : 2);
+    }
+    out << std::string(total, '-') << "\n";
+  };
+
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+    } else {
+      emit_row(row);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace coopfs

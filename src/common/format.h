@@ -1,0 +1,48 @@
+// Text-table and unit formatting helpers shared by benches and examples.
+//
+// Every bench binary prints paper-style tables; TableFormatter keeps their
+// layout consistent (fixed-width columns, header rule, right-aligned numbers).
+#ifndef COOPFS_SRC_COMMON_FORMAT_H_
+#define COOPFS_SRC_COMMON_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coopfs {
+
+// "14800 us" -> "14.8 ms"-style human units for latency values.
+std::string FormatMicros(double micros);
+
+// 16777216 -> "16 MB".
+std::string FormatBytes(std::uint64_t bytes);
+
+// 0.1573 -> "15.7%".
+std::string FormatPercent(double fraction, int decimals = 1);
+
+// Fixed-point with `decimals` digits, e.g. FormatDouble(1.734, 2) == "1.73".
+std::string FormatDouble(double value, int decimals = 2);
+
+// Builds a left-column + N-data-column text table and renders it with
+// column widths computed from content. Cells are strings so callers control
+// numeric formatting.
+class TableFormatter {
+ public:
+  explicit TableFormatter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Inserts a horizontal rule before the next added row.
+  void AddRule();
+
+  // Renders the table; first column left-aligned, the rest right-aligned.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_COMMON_FORMAT_H_

@@ -1,0 +1,164 @@
+// Intrusive doubly-linked list.
+//
+// The cache substrate needs LRU lists whose entries are also hash-map values;
+// an intrusive list gives O(1) unlink/relink with zero allocation per
+// operation, the standard idiom for OS cache implementations. Entries embed
+// an IntrusiveListNode and the list never owns its elements.
+#ifndef COOPFS_SRC_COMMON_INTRUSIVE_LIST_H_
+#define COOPFS_SRC_COMMON_INTRUSIVE_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+
+namespace coopfs {
+
+// Embed one of these per list a type participates in. The node records its
+// owning object when linked, avoiding container-of pointer arithmetic.
+struct IntrusiveListNode {
+  IntrusiveListNode* prev = nullptr;
+  IntrusiveListNode* next = nullptr;
+  void* owner = nullptr;
+
+  bool linked() const { return prev != nullptr; }
+
+  // Unlinks from whatever list contains this node. No-op if not linked.
+  void Unlink() {
+    if (!linked()) {
+      return;
+    }
+    prev->next = next;
+    next->prev = prev;
+    prev = nullptr;
+    next = nullptr;
+    owner = nullptr;
+  }
+};
+
+// Circular sentinel-based intrusive list of T. `NodeMember` selects which
+// embedded node to use, so one object can sit on several lists.
+//
+// Ordering convention used by the caches: front = most recently used,
+// back = least recently used.
+template <typename T, IntrusiveListNode T::* NodeMember = &T::node>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    sentinel_.prev = &sentinel_;
+    sentinel_.next = &sentinel_;
+  }
+
+  // Non-copyable, non-movable: nodes hold pointers into the sentinel.
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  ~IntrusiveList() { Clear(); }
+
+  bool empty() const { return sentinel_.next == &sentinel_; }
+  std::size_t size() const { return size_; }
+
+  void PushFront(T* item) {
+    IntrusiveListNode* node = Node(item);
+    assert(!node->linked() && "item already on a list");
+    node->owner = item;
+    InsertAfter(&sentinel_, node);
+    ++size_;
+  }
+
+  void PushBack(T* item) {
+    IntrusiveListNode* node = Node(item);
+    assert(!node->linked() && "item already on a list");
+    node->owner = item;
+    InsertAfter(sentinel_.prev, node);
+    ++size_;
+  }
+
+  // Removes `item` from this list. `item` must be on this list.
+  void Remove(T* item) {
+    IntrusiveListNode* node = Node(item);
+    assert(node->linked());
+    node->Unlink();
+    --size_;
+  }
+
+  // True if `item`'s node for this list is currently linked (on some list).
+  static bool IsLinked(const T* item) { return (item->*NodeMember).linked(); }
+
+  // Moves `item` (already on this list) to the front (MRU position).
+  void MoveToFront(T* item) {
+    Remove(item);
+    PushFront(item);
+  }
+
+  void MoveToBack(T* item) {
+    Remove(item);
+    PushBack(item);
+  }
+
+  T* Front() const { return empty() ? nullptr : FromNode(sentinel_.next); }
+  T* Back() const { return empty() ? nullptr : FromNode(sentinel_.prev); }
+
+  T* PopFront() {
+    T* item = Front();
+    if (item != nullptr) {
+      Remove(item);
+    }
+    return item;
+  }
+
+  T* PopBack() {
+    T* item = Back();
+    if (item != nullptr) {
+      Remove(item);
+    }
+    return item;
+  }
+
+  // Unlinks every element (does not destroy them; the list is non-owning).
+  void Clear() {
+    while (!empty()) {
+      PopFront();
+    }
+  }
+
+  // Minimal forward iterator over list order (front to back). Supports
+  // removing the *current* element only via a copy taken before ++.
+  class Iterator {
+   public:
+    explicit Iterator(IntrusiveListNode* node) : node_(node) {}
+
+    T& operator*() const { return *FromNode(node_); }
+    T* operator->() const { return FromNode(node_); }
+
+    Iterator& operator++() {
+      node_ = node_->next;
+      return *this;
+    }
+
+    friend bool operator==(const Iterator& a, const Iterator& b) { return a.node_ == b.node_; }
+
+   private:
+    IntrusiveListNode* node_;
+  };
+
+  Iterator begin() { return Iterator(sentinel_.next); }
+  Iterator end() { return Iterator(&sentinel_); }
+
+ private:
+  static IntrusiveListNode* Node(T* item) { return &(item->*NodeMember); }
+
+  static T* FromNode(IntrusiveListNode* node) { return static_cast<T*>(node->owner); }
+
+  static void InsertAfter(IntrusiveListNode* where, IntrusiveListNode* node) {
+    node->prev = where;
+    node->next = where->next;
+    where->next->prev = node;
+    where->next = node;
+  }
+
+  IntrusiveListNode sentinel_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_COMMON_INTRUSIVE_LIST_H_

@@ -1,0 +1,49 @@
+// Minimal leveled logging for library diagnostics.
+//
+// Usage: COOPFS_LOG(kInfo) << "warmed " << n << " accesses";
+// Severity below the global threshold is compiled to a cheap runtime check.
+#ifndef COOPFS_SRC_COMMON_LOGGING_H_
+#define COOPFS_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace coopfs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,  // Threshold value that silences everything.
+};
+
+// Process-wide minimum severity that is actually emitted. Defaults to
+// kWarning so library consumers are quiet unless they opt in.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Internal: stream that emits one formatted line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace coopfs
+
+#define COOPFS_LOG(severity)                                                      \
+  if (::coopfs::LogLevel::severity < ::coopfs::GetLogLevel()) {                   \
+  } else                                                                          \
+    ::coopfs::LogMessage(::coopfs::LogLevel::severity, __FILE__, __LINE__).stream()
+
+#endif  // COOPFS_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,131 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace coopfs {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel-merge formulas.
+  const double n_a = static_cast<double>(count_);
+  const double n_b = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n_a + n_b;
+  mean_ += delta * n_b / n;
+  m2_ += other.m2_ + delta * delta * n_a * n_b / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+std::size_t LogHistogram::BucketFor(double value) {
+  if (value < 1.0) {
+    return 0;
+  }
+  const auto bucket = static_cast<std::size_t>(std::log2(value)) + 1;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+double LogHistogram::BucketLowerBound(std::size_t bucket) {
+  if (bucket == 0) {
+    return 0.0;
+  }
+  return std::pow(2.0, static_cast<double>(bucket - 1));
+}
+
+void LogHistogram::Add(double value) {
+  ++buckets_[BucketFor(value)];
+  ++total_;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+}
+
+void LogHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= target && buckets_[i] > 0) {
+      const double lo = BucketLowerBound(i);
+      const double hi = (i + 1 < kNumBuckets) ? BucketLowerBound(i + 1) : lo * 2.0;
+      const double frac = (target - cumulative) / static_cast<double>(buckets_[i]);
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return BucketLowerBound(kNumBuckets - 1);
+}
+
+std::string LogHistogram::ToString(std::size_t max_rows) const {
+  std::ostringstream out;
+  // Show only the occupied range, densest buckets first capped to max_rows.
+  std::size_t first = kNumBuckets;
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] > 0) {
+      first = std::min(first, i);
+      last = i;
+    }
+  }
+  if (first == kNumBuckets) {
+    return "(empty histogram)\n";
+  }
+  std::uint64_t peak = 0;
+  for (std::size_t i = first; i <= last; ++i) {
+    peak = std::max(peak, buckets_[i]);
+  }
+  std::size_t rows = 0;
+  for (std::size_t i = first; i <= last && rows < max_rows; ++i, ++rows) {
+    const double lo = BucketLowerBound(i);
+    const auto bar_len =
+        static_cast<std::size_t>(40.0 * static_cast<double>(buckets_[i]) /
+                                 static_cast<double>(peak));
+    out << "[" << lo << ", " << BucketLowerBound(i + 1) << ")\t" << buckets_[i] << "\t"
+        << std::string(bar_len, '#') << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace coopfs

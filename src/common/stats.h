@@ -1,0 +1,106 @@
+// Streaming statistics accumulators used by the metrics layer and benches.
+#ifndef COOPFS_SRC_COMMON_STATS_H_
+#define COOPFS_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace coopfs {
+
+// Single-pass mean / variance / extrema accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& other);
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  // Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-bucket histogram over [0, +inf) with logarithmic bucket boundaries:
+// [0,1), [1,2), [2,4), [4,8), ... doubling up to 2^(kNumBuckets-2), with the
+// final bucket catching everything larger. Suited to latency distributions
+// spanning microseconds to tens of milliseconds.
+class LogHistogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 40;
+
+  void Add(double value);
+  void Merge(const LogHistogram& other);
+  void Reset();
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t bucket_count(std::size_t bucket) const { return buckets_[bucket]; }
+
+  // Inclusive lower bound of a bucket.
+  static double BucketLowerBound(std::size_t bucket);
+
+  // Approximate quantile (q in [0,1]) by linear interpolation inside the
+  // containing bucket. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  // Multi-line human-readable rendering (for example programs).
+  std::string ToString(std::size_t max_rows = 12) const;
+
+ private:
+  static std::size_t BucketFor(double value);
+
+  std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(kNumBuckets, 0);
+  std::uint64_t total_ = 0;
+};
+
+// Simple named counter set, used for per-level hit accounting and server
+// load units where all we need is "add n to counter i".
+template <std::size_t N>
+class CounterArray {
+ public:
+  void Add(std::size_t index, std::uint64_t n = 1) { counts_[index] += n; }
+  std::uint64_t Get(std::size_t index) const { return counts_[index]; }
+
+  std::uint64_t Total() const {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < N; ++i) {
+      sum += counts_[i];
+    }
+    return sum;
+  }
+
+  // Fraction of the total in `index`; 0 if empty.
+  double Fraction(std::size_t index) const {
+    const std::uint64_t total = Total();
+    return total == 0 ? 0.0 : static_cast<double>(counts_[index]) / static_cast<double>(total);
+  }
+
+  void Reset() { counts_ = {}; }
+
+  void Merge(const CounterArray& other) {
+    for (std::size_t i = 0; i < N; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, N> counts_{};
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_COMMON_STATS_H_

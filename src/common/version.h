@@ -1,0 +1,15 @@
+// Library version. Bump per release; the minor tracks reproduced-paper
+// coverage milestones, the patch tracks fixes.
+#ifndef COOPFS_SRC_COMMON_VERSION_H_
+#define COOPFS_SRC_COMMON_VERSION_H_
+
+namespace coopfs {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_COMMON_VERSION_H_

@@ -1,0 +1,24 @@
+// Baseline: traditional client/server caching, no cooperation (paper §3).
+//
+// Reads are satisfied by the client's local cache, then the server's memory
+// cache, then disk. Local evictions simply discard blocks. This is the
+// "base case" every figure compares against.
+#ifndef COOPFS_SRC_CORE_BASELINE_H_
+#define COOPFS_SRC_CORE_BASELINE_H_
+
+#include <string>
+
+#include "src/sim/policy.h"
+
+namespace coopfs {
+
+class BaselinePolicy : public PolicyBase {
+ public:
+  std::string Name() const override { return "Baseline"; }
+
+  ReadOutcome Read(ClientId client, BlockId block) override;
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_CORE_BASELINE_H_

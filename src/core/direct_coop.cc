@@ -1,0 +1,94 @@
+#include "src/core/direct_coop.h"
+
+#include <optional>
+
+namespace coopfs {
+
+void DirectCoopPolicy::OnAttach() {
+  const std::size_t uniform_capacity = remote_cache_blocks_ != 0
+                                           ? remote_cache_blocks_
+                                           : ctx().config().client_cache_blocks;
+  remote_caches_.clear();
+  remote_caches_.reserve(ctx().num_clients());
+  for (std::uint32_t c = 0; c < ctx().num_clients(); ++c) {
+    const std::size_t capacity = per_client_remote_blocks_.empty()
+                                     ? uniform_capacity
+                                     : (c < per_client_remote_blocks_.size()
+                                            ? per_client_remote_blocks_[c]
+                                            : 0);
+    remote_caches_.push_back(std::make_unique<BlockCache>(capacity));
+  }
+}
+
+ReadOutcome DirectCoopPolicy::Read(ClientId client, BlockId block) {
+  if (CacheEntry* entry = ctx().client_cache(client).Touch(block); entry != nullptr) {
+    entry->last_ref = ctx().now();
+    return {CacheLevel::kLocalMemory, 0, false};
+  }
+
+  // Probe the private remote cache: request + reply, no server (Figure 3:
+  // 1050 us on ATM). The block migrates back into the local cache.
+  BlockCache& remote = *remote_caches_[client];
+  if (remote.Erase(block)) {
+    CacheLocally(client, block);
+    return {CacheLevel::kRemoteClient, 2, true};
+  }
+
+  // As far as the server is concerned this client just has a larger cache:
+  // the remaining path is exactly the baseline's.
+  if (CacheEntry* entry = ctx().server_cache_for(block).Touch(block); entry != nullptr) {
+    entry->last_ref = ctx().now();
+    ctx().ChargeServerMemoryHit();
+    CacheLocally(client, block);
+    return {CacheLevel::kServerMemory, 2, true};
+  }
+
+  if (std::optional<ReadOutcome> dirty = MaybeServeFromDirtyHolder(client, block);
+      dirty.has_value()) {
+    return *dirty;
+  }
+  ctx().ChargeDiskHit();
+  InstallInServerCache(block);
+  CacheLocally(client, block);
+  return {CacheLevel::kServerDisk, 2, true};
+}
+
+void DirectCoopPolicy::EvictForInsert(ClientId client) {
+  BlockCache& cache = ctx().client_cache(client);
+  CacheEntry* victim = cache.Lru();
+  if (victim == nullptr) {
+    return;
+  }
+  const BlockId block = victim->block;
+  FlushIfDirty(client, block);
+  DropLocal(client, block);
+
+  BlockCache& remote = *remote_caches_[client];
+  if (!remote.CanInsert() || remote.Contains(block)) {
+    return;
+  }
+  while (remote.Full()) {
+    remote.EvictLru();
+  }
+  remote.Insert(block).last_ref = ctx().now();
+}
+
+void DirectCoopPolicy::OnClientReboot(ClientId client) {
+  remote_caches_[client]->Clear();
+}
+
+void DirectCoopPolicy::OnInvalidateExtra(BlockId block, ClientId writer) {
+  for (std::uint32_t c = 0; c < remote_caches_.size(); ++c) {
+    if (writer != kNoClient && c == writer) {
+      continue;  // The writer's own spilled copy is refreshed below anyway.
+    }
+    remote_caches_[c]->Erase(block);
+  }
+  if (writer != kNoClient) {
+    // Write-through makes the writer's spilled copy stale too; the fresh
+    // data will re-enter its local cache via the normal write path.
+    remote_caches_[writer]->Erase(block);
+  }
+}
+
+}  // namespace coopfs

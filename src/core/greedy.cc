@@ -1,0 +1,48 @@
+#include "src/core/greedy.h"
+
+namespace coopfs {
+
+ReadOutcome GreedyPolicy::Read(ClientId client, BlockId block) {
+  if (CacheEntry* entry = ctx().client_cache(client).Touch(block); entry != nullptr) {
+    entry->last_ref = ctx().now();
+    OnLocalHit(client, *entry);
+    return {CacheLevel::kLocalMemory, 0, false};
+  }
+
+  if (CacheEntry* entry = ctx().server_cache_for(block).Touch(block); entry != nullptr) {
+    entry->last_ref = ctx().now();
+    ctx().ChargeServerMemoryHit();
+    OnBlockReplicated(block);
+    CacheLocally(client, block);
+    return {CacheLevel::kServerMemory, 2, true};
+  }
+
+  // The server consults its directory and forwards the request to a caching
+  // client, which sends the data directly to the requester: request +
+  // forward + reply = 3 hops (Figure 3).
+  const ClientId holder = ctx().directory().PickHolder(block, client, ctx().rng());
+  if (holder != kNoClient) {
+    ctx().ChargeRemoteClientHit();
+    OnRemoteHit(client, holder, block);
+    CacheLocally(client, block);
+    return {CacheLevel::kRemoteClient, 3, true};
+  }
+
+  ctx().ChargeDiskHit();
+  InstallInServerCache(block);
+  CacheLocally(client, block);
+  return {CacheLevel::kServerDisk, 2, true};
+}
+
+void GreedyPolicy::OnLocalHit(ClientId client, CacheEntry& entry) {
+  (void)client;
+  (void)entry;
+}
+
+void GreedyPolicy::OnRemoteHit(ClientId client, ClientId holder, BlockId block) {
+  (void)client;
+  (void)holder;
+  (void)block;
+}
+
+}  // namespace coopfs

@@ -1,0 +1,83 @@
+// Idle-targeted N-Chance Forwarding — the enhancement the paper suggests in
+// §2.4: "An enhancement to this algorithm might be to preferentially forward
+// singlets to idle clients to avoid disturbing active clients. For this
+// study, however, clients forward singlets uniformly randomly."
+//
+// This variant implements that enhancement: each client's last file-system
+// activity time is tracked, and an evicted singlet is forwarded to the
+// least-recently-active peer (idle machines accumulate global data; busy
+// machines are left alone). The ext_idle_targeting bench compares it with
+// the random-forwarding base algorithm.
+#ifndef COOPFS_SRC_CORE_NCHANCE_IDLE_H_
+#define COOPFS_SRC_CORE_NCHANCE_IDLE_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/core/nchance.h"
+
+namespace coopfs {
+
+class NChanceIdleAwarePolicy : public NChancePolicy {
+ public:
+  explicit NChanceIdleAwarePolicy(int recirculation_count = 2)
+      : NChancePolicy(recirculation_count) {}
+
+  std::string Name() const override {
+    return "N-Chance idle-aware (n=" + std::to_string(recirculation_count()) + ")";
+  }
+
+  ReadOutcome Read(ClientId client, BlockId block) override {
+    NoteActivity(client);
+    return NChancePolicy::Read(client, block);
+  }
+
+  void Write(ClientId client, BlockId block) override {
+    NoteActivity(client);
+    NChancePolicy::Write(client, block);
+  }
+
+ protected:
+  void OnAttach() override {
+    NChancePolicy::OnAttach();
+    last_active_.assign(ctx().num_clients(), 0);
+  }
+
+  // Forward to a random peer from the least-recently-active quartile.
+  // Always picking the single most idle client would funnel every singlet
+  // into one cache and thrash it; sampling the idle quartile avoids active
+  // clients (the §2.4 goal) while still spreading global data over many
+  // idle memories the way random forwarding does.
+  ClientId PickForwardTarget(ClientId client) override {
+    peers_by_idleness_.clear();
+    for (ClientId peer = 0; peer < ctx().num_clients(); ++peer) {
+      if (peer != client) {
+        peers_by_idleness_.push_back(peer);
+      }
+    }
+    if (peers_by_idleness_.empty()) {
+      return kNoClient;
+    }
+    const std::size_t quartile = std::max<std::size_t>(1, peers_by_idleness_.size() / 4);
+    std::nth_element(peers_by_idleness_.begin(), peers_by_idleness_.begin() + (quartile - 1),
+                     peers_by_idleness_.end(), [this](ClientId a, ClientId b) {
+                       return last_active_[a] < last_active_[b];
+                     });
+    return peers_by_idleness_[ctx().rng().NextBelow(quartile)];
+  }
+
+ private:
+  void NoteActivity(ClientId client) {
+    if (client < last_active_.size()) {
+      last_active_[client] = ctx().now();
+    }
+  }
+
+  std::vector<Micros> last_active_;
+  std::vector<ClientId> peers_by_idleness_;  // Scratch for target selection.
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_CORE_NCHANCE_IDLE_H_

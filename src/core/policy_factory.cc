@@ -1,0 +1,107 @@
+#include "src/core/policy_factory.h"
+
+#include "src/core/baseline.h"
+#include "src/core/central_coord.h"
+#include "src/core/direct_coop.h"
+#include "src/core/greedy.h"
+#include "src/core/hash_distributed.h"
+#include "src/core/nchance.h"
+#include "src/core/nchance_idle.h"
+#include "src/core/weighted_lru.h"
+
+namespace coopfs {
+
+std::unique_ptr<Policy> MakePolicy(PolicyKind kind, const PolicyParams& params) {
+  switch (kind) {
+    case PolicyKind::kBaseline:
+      return std::make_unique<BaselinePolicy>();
+    case PolicyKind::kDirectCoop:
+      return std::make_unique<DirectCoopPolicy>(params.direct_remote_blocks);
+    case PolicyKind::kGreedy:
+      return std::make_unique<GreedyPolicy>();
+    case PolicyKind::kCentralCoord:
+      return std::make_unique<CentralCoordPolicy>(params.coordinated_fraction);
+    case PolicyKind::kNChance:
+      return std::make_unique<NChancePolicy>(params.nchance_recirculation);
+    case PolicyKind::kNChanceIdle:
+      return std::make_unique<NChanceIdleAwarePolicy>(params.nchance_recirculation);
+    case PolicyKind::kHashDistributed:
+      return std::make_unique<HashDistributedPolicy>(params.coordinated_fraction);
+    case PolicyKind::kWeightedLru:
+      return std::make_unique<WeightedLruPolicy>(params.nchance_recirculation,
+                                                 params.weighted_window);
+    case PolicyKind::kBestCase:
+      return std::make_unique<BestCasePolicy>();
+  }
+  return nullptr;
+}
+
+Result<PolicyKind> ParsePolicyKind(const std::string& name) {
+  if (name == "baseline" || name == "base") {
+    return PolicyKind::kBaseline;
+  }
+  if (name == "direct") {
+    return PolicyKind::kDirectCoop;
+  }
+  if (name == "greedy") {
+    return PolicyKind::kGreedy;
+  }
+  if (name == "central") {
+    return PolicyKind::kCentralCoord;
+  }
+  if (name == "nchance" || name == "n-chance") {
+    return PolicyKind::kNChance;
+  }
+  if (name == "nchance-idle") {
+    return PolicyKind::kNChanceIdle;
+  }
+  if (name == "hash") {
+    return PolicyKind::kHashDistributed;
+  }
+  if (name == "weighted" || name == "weighted-lru") {
+    return PolicyKind::kWeightedLru;
+  }
+  if (name == "best" || name == "best-case") {
+    return PolicyKind::kBestCase;
+  }
+  return Status::InvalidArgument("unknown policy: " + name +
+                                 " (expected baseline|direct|greedy|central|nchance|hash|"
+                                 "weighted|best)");
+}
+
+std::vector<PolicyKind> Figure4PolicyKinds() {
+  return {PolicyKind::kBaseline,     PolicyKind::kDirectCoop, PolicyKind::kGreedy,
+          PolicyKind::kCentralCoord, PolicyKind::kNChance,    PolicyKind::kBestCase};
+}
+
+std::vector<PolicyKind> AllPolicyKinds() {
+  return {PolicyKind::kBaseline,     PolicyKind::kDirectCoop,      PolicyKind::kGreedy,
+          PolicyKind::kCentralCoord, PolicyKind::kNChance,         PolicyKind::kNChanceIdle,
+          PolicyKind::kHashDistributed, PolicyKind::kWeightedLru,  PolicyKind::kBestCase};
+}
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kBaseline:
+      return "baseline";
+    case PolicyKind::kDirectCoop:
+      return "direct";
+    case PolicyKind::kGreedy:
+      return "greedy";
+    case PolicyKind::kCentralCoord:
+      return "central";
+    case PolicyKind::kNChance:
+      return "nchance";
+    case PolicyKind::kNChanceIdle:
+      return "nchance-idle";
+    case PolicyKind::kHashDistributed:
+      return "hash";
+    case PolicyKind::kWeightedLru:
+      return "weighted";
+    case PolicyKind::kBestCase:
+      return "best";
+  }
+  return "unknown";
+}
+
+}  // namespace coopfs

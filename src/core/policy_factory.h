@@ -1,0 +1,50 @@
+// Construction of policies by kind, shared by benches, examples, and tests.
+#ifndef COOPFS_SRC_CORE_POLICY_FACTORY_H_
+#define COOPFS_SRC_CORE_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/policy.h"
+
+namespace coopfs {
+
+enum class PolicyKind {
+  kBaseline,
+  kDirectCoop,
+  kGreedy,
+  kCentralCoord,
+  kNChance,
+  kNChanceIdle,  // Extension: §2.4's suggested idle-targeted forwarding.
+  kHashDistributed,
+  kWeightedLru,
+  kBestCase,
+};
+
+// Tunables for the parameterized policies; defaults are the paper's (§4.1).
+struct PolicyParams {
+  int nchance_recirculation = 2;        // N-Chance n.
+  double coordinated_fraction = 0.8;    // Central / Hash-Distributed split.
+  std::size_t direct_remote_blocks = 0;  // 0 = equal to the local cache.
+  std::size_t weighted_window = 16;     // Weighted-LRU decision window.
+};
+
+std::unique_ptr<Policy> MakePolicy(PolicyKind kind, const PolicyParams& params = {});
+
+// Parses names like "baseline", "nchance", "central" (used by CLI tools).
+Result<PolicyKind> ParsePolicyKind(const std::string& name);
+
+// The four algorithms of the paper's main comparison plus baseline and best
+// case, in Figure 4's left-to-right order.
+std::vector<PolicyKind> Figure4PolicyKinds();
+
+// Every implemented policy kind.
+std::vector<PolicyKind> AllPolicyKinds();
+
+const char* PolicyKindName(PolicyKind kind);
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_CORE_POLICY_FACTORY_H_

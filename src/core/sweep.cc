@@ -1,0 +1,52 @@
+#include "src/core/sweep.h"
+
+#include <atomic>
+#include <thread>
+
+namespace coopfs {
+
+std::vector<Result<SimulationResult>> RunSimulationsParallel(
+    const Trace& trace, const std::vector<SimulationJob>& jobs, std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, jobs.size());
+
+  std::vector<Result<SimulationResult>> results(jobs.size(),
+                                                Status::Internal("job never ran"));
+  if (jobs.empty()) {
+    return results;
+  }
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      Simulator simulator(jobs[i].config, &trace);
+      auto policy = MakePolicy(jobs[i].kind, jobs[i].params);
+      results[i] = simulator.Run(*policy);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= jobs.size()) {
+        return;
+      }
+      Simulator simulator(jobs[index].config, &trace);
+      auto policy = MakePolicy(jobs[index].kind, jobs[index].params);
+      results[index] = simulator.Run(*policy);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& thread : pool) {
+    thread.join();
+  }
+  return results;
+}
+
+}  // namespace coopfs

@@ -1,0 +1,36 @@
+// Parallel execution of independent simulations.
+//
+// Every figure in the paper is a sweep: the same trace replayed under many
+// (configuration, policy) pairs, each run fully independent (the trace is
+// shared read-only; each run builds its own SimContext). RunSimulationsParallel
+// fans the runs out over a thread pool and returns results in input order.
+// Determinism is unaffected: each run's result depends only on its own
+// (config, policy), never on scheduling.
+#ifndef COOPFS_SRC_CORE_SWEEP_H_
+#define COOPFS_SRC_CORE_SWEEP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/policy_factory.h"
+#include "src/sim/simulator.h"
+
+namespace coopfs {
+
+// One simulation job: a configuration and the policy to run under it.
+struct SimulationJob {
+  SimulationConfig config;
+  PolicyKind kind = PolicyKind::kBaseline;
+  PolicyParams params;
+};
+
+// Runs all jobs against `trace` using up to `threads` worker threads
+// (0 = hardware concurrency). Results are returned in job order; a failed
+// run carries its error Status.
+std::vector<Result<SimulationResult>> RunSimulationsParallel(const Trace& trace,
+                                                             const std::vector<SimulationJob>& jobs,
+                                                             std::size_t threads = 0);
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_CORE_SWEEP_H_

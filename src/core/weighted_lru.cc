@@ -1,0 +1,35 @@
+#include "src/core/weighted_lru.h"
+
+namespace coopfs {
+
+CacheEntry* WeightedLruPolicy::SelectVictim(ClientId client) {
+  BlockCache& cache = ctx().client_cache(client);
+  const NetworkModel& net = ctx().config().network;
+  const double remote_penalty = static_cast<double>(net.RemoteFetchTime(3));
+  const double disk_penalty =
+      static_cast<double>(net.RemoteFetchTime(2) + ctx().config().disk.access_time);
+  const Micros now = ctx().now();
+
+  // Duplicate status is global knowledge: one query (request + reply) per
+  // eviction decision, the server-load cost the paper warns about.
+  ctx().ChargeSmallMessages(2);
+
+  CacheEntry* best = nullptr;
+  double best_weight = 0.0;
+  cache.ScanFromLru(
+      [&](CacheEntry& entry) {
+        const bool duplicated = ctx().directory().IsDuplicated(entry.block);
+        const double penalty = duplicated ? remote_penalty : disk_penalty;
+        const double age = static_cast<double>(now - entry.last_ref) + 1.0;
+        const double weight = penalty / age;
+        if (best == nullptr || weight < best_weight) {
+          best = &entry;
+          best_weight = weight;
+        }
+        return false;
+      },
+      window_);
+  return best != nullptr ? best : cache.Lru();
+}
+
+}  // namespace coopfs

@@ -1,0 +1,45 @@
+// Weighted LRU (paper §2.5).
+//
+// A dynamic algorithm that tries to evict the block with the lowest
+// value/cost ratio: duplicated blocks are cheap to lose (a later reference
+// is still a remote-memory hit) while the last cached copy of a block is
+// expensive (its loss may cost a disk access); the opportunity cost of
+// keeping a block is roughly the time since its last reference [Smit81].
+//
+// The paper gives only this sketch (its quantitative results are omitted
+// because "response time was slightly worse than for the substantially
+// simpler N-Chance Forwarding"). Our implementation, documented in
+// DESIGN.md: eviction examines a window of the least recently used blocks
+// and evicts the one minimizing miss_penalty / age, where the penalty is
+// the remote-fetch time for duplicated blocks and the disk time for
+// singlets; evicted singlets recirculate exactly as in N-Chance. Each
+// weighted decision queries the server for duplicate status (charged as
+// "Other" load — the paper's noted drawback).
+#ifndef COOPFS_SRC_CORE_WEIGHTED_LRU_H_
+#define COOPFS_SRC_CORE_WEIGHTED_LRU_H_
+
+#include <string>
+
+#include "src/core/nchance.h"
+
+namespace coopfs {
+
+class WeightedLruPolicy : public NChancePolicy {
+ public:
+  // `window` bounds how many LRU-end blocks each eviction decision weighs
+  // (a full-cache scan per eviction is neither realistic nor necessary).
+  explicit WeightedLruPolicy(int recirculation_count = 2, std::size_t window = 16)
+      : NChancePolicy(recirculation_count), window_(window) {}
+
+  std::string Name() const override { return "Weighted LRU"; }
+
+ protected:
+  CacheEntry* SelectVictim(ClientId client) override;
+
+ private:
+  std::size_t window_;
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_CORE_WEIGHTED_LRU_H_

@@ -1,0 +1,25 @@
+#include "src/model/access_times.h"
+
+#include <sstream>
+
+namespace coopfs {
+
+AccessTimes ComputeAccessTimes(const NetworkModel& net, const DiskModel& disk, int remote_hops) {
+  AccessTimes times;
+  times.local = net.memory_copy;
+  times.remote_client = net.RemoteFetchTime(remote_hops);
+  // Server-memory hits are always a direct request/reply: 2 hops.
+  times.server_memory = net.RemoteFetchTime(2);
+  // Disk hits pay the server-memory path plus the physical disk access.
+  times.server_disk = times.server_memory + disk.access_time;
+  return times;
+}
+
+std::string AccessTimes::ToString() const {
+  std::ostringstream out;
+  out << "local=" << local << "us remote=" << remote_client << "us server=" << server_memory
+      << "us disk=" << server_disk << "us";
+  return out.str();
+}
+
+}  // namespace coopfs

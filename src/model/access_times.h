@@ -1,0 +1,48 @@
+// Per-level access-time table (paper Figure 3).
+//
+// Converts the technology model into the four constant latencies the
+// simulator multiplies hit counts by. The only per-algorithm difference is
+// the number of network hops to reach a remote client's memory: 2 for
+// algorithms that contact the holder directly (Direct Client Cooperation,
+// Hash-Distributed on a hash hit), 3 for server-forwarded requests (Greedy,
+// Centrally Coordinated, N-Chance, best case).
+#ifndef COOPFS_SRC_MODEL_ACCESS_TIMES_H_
+#define COOPFS_SRC_MODEL_ACCESS_TIMES_H_
+
+#include <string>
+
+#include "src/common/types.h"
+#include "src/model/network_model.h"
+
+namespace coopfs {
+
+struct AccessTimes {
+  Micros local = 250;
+  Micros remote_client = 1250;
+  Micros server_memory = 1050;
+  Micros server_disk = 15'850;
+
+  Micros ForLevel(CacheLevel level) const {
+    switch (level) {
+      case CacheLevel::kLocalMemory:
+        return local;
+      case CacheLevel::kRemoteClient:
+        return remote_client;
+      case CacheLevel::kServerMemory:
+        return server_memory;
+      case CacheLevel::kServerDisk:
+        return server_disk;
+    }
+    return 0;
+  }
+
+  std::string ToString() const;
+};
+
+// Builds the Figure 3 row for an algorithm whose remote-client hits take
+// `remote_hops` network hops.
+AccessTimes ComputeAccessTimes(const NetworkModel& net, const DiskModel& disk, int remote_hops);
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_MODEL_ACCESS_TIMES_H_

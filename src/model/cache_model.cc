@@ -1,0 +1,77 @@
+#include "src/model/cache_model.h"
+
+#include <cmath>
+
+namespace coopfs {
+
+std::vector<double> ZipfProbabilities(std::size_t n, double s) {
+  std::vector<double> probabilities(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    probabilities[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    sum += probabilities[i];
+  }
+  for (double& p : probabilities) {
+    p /= sum;
+  }
+  return probabilities;
+}
+
+namespace {
+
+// Expected number of distinct objects referenced within characteristic
+// time t (the cache occupancy Che's approximation equates to capacity).
+double ExpectedOccupancy(const std::vector<double>& probabilities, double t) {
+  double occupancy = 0.0;
+  for (double p : probabilities) {
+    occupancy += 1.0 - std::exp(-p * t);
+  }
+  return occupancy;
+}
+
+}  // namespace
+
+double CheCharacteristicTime(const std::vector<double>& probabilities,
+                             std::size_t cache_objects) {
+  if (cache_objects == 0 || probabilities.empty()) {
+    return 0.0;
+  }
+  if (cache_objects >= probabilities.size()) {
+    return 0.0;  // Everything fits; T is unbounded/meaningless.
+  }
+  // Bisection: occupancy is monotonically increasing in t.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (ExpectedOccupancy(probabilities, hi) < static_cast<double>(cache_objects)) {
+    hi *= 2.0;
+    if (hi > 1e18) {
+      break;
+    }
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (ExpectedOccupancy(probabilities, mid) < static_cast<double>(cache_objects)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double CheLruHitRate(const std::vector<double>& probabilities, std::size_t cache_objects) {
+  if (cache_objects == 0 || probabilities.empty()) {
+    return 0.0;
+  }
+  if (cache_objects >= probabilities.size()) {
+    return 1.0;
+  }
+  const double t = CheCharacteristicTime(probabilities, cache_objects);
+  double hit_rate = 0.0;
+  for (double p : probabilities) {
+    hit_rate += p * (1.0 - std::exp(-p * t));
+  }
+  return hit_rate;
+}
+
+}  // namespace coopfs

@@ -1,0 +1,38 @@
+// Analytic LRU cache model: Che's approximation.
+//
+// Under the independent reference model (each access draws object i with
+// fixed probability p_i — exactly the Leff et al. synthetic workload the
+// paper used to validate its simulator, §3), an LRU cache of C objects has
+// a well-known closed-form approximation (Che, Tung & Wang 2002): solve
+//
+//     sum_i (1 - exp(-p_i * T)) = C        for the characteristic time T,
+//     hit_rate = sum_i p_i * (1 - exp(-p_i * T)).
+//
+// coopfs uses it as an independent oracle: the integration tests check the
+// simulator's measured LRU hit rates against the analytic prediction, which
+// would catch subtle replacement-policy bugs that hand-written scenarios
+// cannot.
+#ifndef COOPFS_SRC_MODEL_CACHE_MODEL_H_
+#define COOPFS_SRC_MODEL_CACHE_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace coopfs {
+
+// Normalized Zipf(s) probability vector over `n` ranks (rank 0 = hottest).
+std::vector<double> ZipfProbabilities(std::size_t n, double s);
+
+// Characteristic time T of an LRU cache of `cache_objects` slots under IRM
+// with the given (normalized) access probabilities. Returns 0 if the cache
+// holds everything.
+double CheCharacteristicTime(const std::vector<double>& probabilities,
+                             std::size_t cache_objects);
+
+// Che's approximation of the steady-state LRU hit rate. Exact limits: 0 for
+// an empty cache, 1.0 when every object fits.
+double CheLruHitRate(const std::vector<double>& probabilities, std::size_t cache_objects);
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_MODEL_CACHE_MODEL_H_

@@ -1,0 +1,42 @@
+#include "src/model/network_model.h"
+
+#include <sstream>
+
+namespace coopfs {
+
+NetworkModel NetworkModel::Atm155() {
+  NetworkModel model;
+  model.memory_copy = 250;
+  model.per_hop = 200;
+  model.block_transfer = 400;
+  return model;
+}
+
+NetworkModel NetworkModel::Ethernet10() {
+  NetworkModel model;
+  model.memory_copy = 250;
+  model.per_hop = 200;
+  model.block_transfer = 6250;
+  return model;
+}
+
+NetworkModel NetworkModel::WithRoundTrip(Micros round_trip) const {
+  const Micros base = TransferTime(2);
+  NetworkModel scaled = *this;
+  if (base > 0 && round_trip > 0) {
+    const double factor = static_cast<double>(round_trip) / static_cast<double>(base);
+    scaled.per_hop = static_cast<Micros>(static_cast<double>(per_hop) * factor + 0.5);
+    scaled.block_transfer =
+        static_cast<Micros>(static_cast<double>(block_transfer) * factor + 0.5);
+  }
+  return scaled;
+}
+
+std::string NetworkModel::ToString() const {
+  std::ostringstream out;
+  out << "mem_copy=" << memory_copy << "us hop=" << per_hop << "us transfer=" << block_transfer
+      << "us";
+  return out.str();
+}
+
+}  // namespace coopfs

@@ -1,0 +1,61 @@
+// Network technology model (paper Figure 1 and §3).
+//
+// The paper computes response times from constant access latencies: an 8 KB
+// block costs a 250 µs memory copy wherever it is found, plus (if remote) a
+// per-block network transfer and a per-hop small-packet latency, plus (if on
+// disk) a constant disk access. NetworkModel captures the network constants
+// with presets for the paper's two technologies.
+#ifndef COOPFS_SRC_MODEL_NETWORK_MODEL_H_
+#define COOPFS_SRC_MODEL_NETWORK_MODEL_H_
+
+#include <string>
+
+#include "src/common/types.h"
+
+namespace coopfs {
+
+struct NetworkModel {
+  // Time to copy one 8 KB block between the cache and the application.
+  Micros memory_copy = 250;
+  // One-way small-packet latency per network hop (request or forward).
+  Micros per_hop = 200;
+  // Time to move one 8 KB block across the network.
+  Micros block_transfer = 400;
+
+  // 155 Mbit/s ATM of Figure 1: 400 µs round-trip overhead (2 hops x 200 µs)
+  // plus 400 µs data transfer. The paper's default.
+  static NetworkModel Atm155();
+
+  // 10 Mbit/s Ethernet of Figure 1: same per-hop overhead, 6250 µs for the
+  // 8 KB payload at full (optimistic) link speed.
+  static NetworkModel Ethernet10();
+
+  // Scales per-hop and transfer times proportionally so that the basic
+  // request/receive round trip (2 hops + 1 block transfer, excluding memory
+  // copy) equals `round_trip`. Used by the Figure 13 network-speed sweep.
+  NetworkModel WithRoundTrip(Micros round_trip) const;
+
+  // Round trip to request and receive a block over `hops` network hops,
+  // excluding the memory-copy time.
+  Micros TransferTime(int hops) const { return block_transfer + per_hop * hops; }
+
+  // Full time to fetch a block from a remote memory reached via `hops` hops
+  // (includes the memory copy). E.g. 2 hops = 1050 µs on ATM (Figure 1),
+  // 3 hops = 1250 µs (server-forwarded cooperative hit, Figure 3).
+  Micros RemoteFetchTime(int hops) const { return memory_copy + TransferTime(hops); }
+
+  std::string ToString() const;
+};
+
+// Backing-disk model: the paper charges a constant 14,800 µs physical access
+// (Ruemmler & Wilkes measurement) on top of the server-memory fetch path and
+// models no queueing (§3).
+struct DiskModel {
+  Micros access_time = 14'800;
+
+  static DiskModel RuemmlerWilkes() { return DiskModel{}; }
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_MODEL_NETWORK_MODEL_H_

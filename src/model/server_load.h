@@ -1,0 +1,93 @@
+// Server load accounting (paper §4.1, Figure 6).
+//
+// The paper compares algorithms by abstract load units charged to the
+// server: a small network message costs 1 unit, a block data transfer adds
+// 2 (so a data reply costs 1 + 2 = 3), and a disk transfer costs 2. Local
+// hits cost the server nothing. Only the read path plus coordination
+// overhead ("other": invalidations, singlet queries, directory updates that
+// are not piggybacked) is charged; write-backs and attribute traffic would
+// add equally to every algorithm and are excluded.
+#ifndef COOPFS_SRC_MODEL_SERVER_LOAD_H_
+#define COOPFS_SRC_MODEL_SERVER_LOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/stats.h"
+
+namespace coopfs {
+
+// Cost constants, in load units.
+inline constexpr std::uint64_t kLoadMessage = 1;       // Small packet send or receive.
+inline constexpr std::uint64_t kLoadDataTransfer = 2;  // 8 KB payload on the network.
+inline constexpr std::uint64_t kLoadDiskTransfer = 2;  // 8 KB to/from disk.
+
+// Figure 6 segments.
+enum class ServerLoadKind : std::uint8_t {
+  kHitServerMemory = 0,  // Receive request + send data: 1 + (1+2) = 4.
+  kHitRemoteClient = 1,  // Receive request + forward: 1 + 1 = 2.
+  kHitDisk = 2,          // Receive + disk + send data: 1 + 2 + (1+2) = 6.
+  kOther = 3,            // Invalidations, queries, non-piggybacked updates.
+};
+
+inline constexpr std::size_t kNumServerLoadKinds = 4;
+
+constexpr const char* ServerLoadKindName(ServerLoadKind kind) {
+  switch (kind) {
+    case ServerLoadKind::kHitServerMemory:
+      return "Hit Server Memory";
+    case ServerLoadKind::kHitRemoteClient:
+      return "Hit Remote Client";
+    case ServerLoadKind::kHitDisk:
+      return "Hit Disk";
+    case ServerLoadKind::kOther:
+      return "Other Load";
+  }
+  return "Unknown";
+}
+
+// Accumulates load units by Figure 6 segment.
+class ServerLoadTracker {
+ public:
+  // A read satisfied from the server's memory cache.
+  void ChargeServerMemoryHit() {
+    Charge(ServerLoadKind::kHitServerMemory, kLoadMessage + kLoadMessage + kLoadDataTransfer);
+  }
+
+  // A read the server forwarded to a caching client (data flows
+  // client-to-client and never touches the server).
+  void ChargeRemoteClientHit() {
+    Charge(ServerLoadKind::kHitRemoteClient, kLoadMessage + kLoadMessage);
+  }
+
+  // A read satisfied from disk: receive request, disk transfer, data reply.
+  void ChargeDiskHit() {
+    Charge(ServerLoadKind::kHitDisk,
+           kLoadMessage + kLoadDiskTransfer + kLoadMessage + kLoadDataTransfer);
+  }
+
+  // One small coordination message (invalidation, is-this-a-singlet query,
+  // non-piggybacked directory update), and its reply if any.
+  void ChargeSmallMessages(std::uint64_t messages) {
+    Charge(ServerLoadKind::kOther, messages * kLoadMessage);
+  }
+
+  void Charge(ServerLoadKind kind, std::uint64_t units) {
+    units_.Add(static_cast<std::size_t>(kind), units);
+  }
+
+  std::uint64_t Units(ServerLoadKind kind) const {
+    return units_.Get(static_cast<std::size_t>(kind));
+  }
+  std::uint64_t TotalUnits() const { return units_.Total(); }
+
+  void Merge(const ServerLoadTracker& other) { units_.Merge(other.units_); }
+  void Reset() { units_.Reset(); }
+
+ private:
+  CounterArray<kNumServerLoadKinds> units_;
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_MODEL_SERVER_LOAD_H_

@@ -1,0 +1,82 @@
+// Simulation configuration (paper §3-4.1 defaults).
+#ifndef COOPFS_SRC_SIM_CONFIG_H_
+#define COOPFS_SRC_SIM_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/model/network_model.h"
+
+namespace coopfs {
+
+// How client writes reach the server (extension; the paper assumes
+// write-through, §3, and argues the choice does not affect read results).
+enum class WritePolicy {
+  // Every write is immediately sent to the server (paper's assumption).
+  kWriteThrough,
+  // Writes are held dirty in the writer's cache and flushed after
+  // `write_delay`, on eviction, or never (if deleted/overwritten first —
+  // the write is absorbed, or lost if the machine reboots). Reads by other
+  // clients are served client-to-client from the dirty copy, the DASH-style
+  // optimization the paper points to in §5.
+  kDelayedWrite,
+};
+
+struct SimulationConfig {
+  // Per-client cache capacity. Paper default: 16 MB (§4.1).
+  std::size_t client_cache_blocks = BytesToBlocks(MiB(16));
+
+  // Total central server cache capacity. Paper default: 128 MB (§4.1).
+  // With multiple servers this memory is divided evenly among them.
+  std::size_t server_cache_blocks = BytesToBlocks(MiB(128));
+
+  // Number of file servers (extension). The paper's study uses the main
+  // Sprite server only (§3 footnote 1); Sprite itself had several, and the
+  // paper's xFS direction distributes the server entirely. Files are
+  // assigned to servers by hashing the file id.
+  std::uint32_t num_servers = 1;
+
+  // Number of clients. 0 = infer from the trace (max client id + 1).
+  std::uint32_t num_clients = 0;
+
+  // Events consumed to warm the caches before metrics are collected. The
+  // paper uses the first 400,000 of the Sprite accesses (§3) and the first
+  // million Auspex events (§4.4).
+  std::uint64_t warmup_events = 400'000;
+
+  // Technology (paper §3: ATM numbers by default; Figure 13 sweeps this).
+  NetworkModel network = NetworkModel::Atm155();
+  DiskModel disk = DiskModel::RuemmlerWilkes();
+
+  // Seed for policy-internal randomness (e.g. N-Chance peer choice).
+  std::uint64_t seed = 1;
+
+  // Write handling (extension; see WritePolicy).
+  WritePolicy write_policy = WritePolicy::kWriteThrough;
+  Micros write_delay = 30'000'000;  // Sprite's classic 30 s delay.
+
+  // If > 0, collect a time series of read metrics bucketed into intervals
+  // of this many simulated microseconds (SimulationResult::timeline).
+  Micros timeline_interval = 0;
+
+  SimulationConfig& WithClientCacheMiB(std::size_t mib) {
+    client_cache_blocks = BytesToBlocks(MiB(mib));
+    return *this;
+  }
+  SimulationConfig& WithServerCacheMiB(std::size_t mib) {
+    server_cache_blocks = BytesToBlocks(MiB(mib));
+    return *this;
+  }
+  SimulationConfig& WithWarmup(std::uint64_t events) {
+    warmup_events = events;
+    return *this;
+  }
+  SimulationConfig& WithNetwork(const NetworkModel& model) {
+    network = model;
+    return *this;
+  }
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_SIM_CONFIG_H_

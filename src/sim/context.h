@@ -1,0 +1,172 @@
+// Shared simulation state operated on by cooperative caching policies.
+//
+// SimContext owns the simulated machines' caches (one BlockCache per client
+// plus the server cache), the server's directory of client cache contents,
+// policy randomness, the simulation clock, and the server-load tracker. The
+// Simulator builds a fresh context per run; policies manipulate it through
+// the hooks in policy.h.
+#ifndef COOPFS_SRC_SIM_CONTEXT_H_
+#define COOPFS_SRC_SIM_CONTEXT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/cache/block_cache.h"
+#include "src/cache/directory.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/model/server_load.h"
+#include "src/sim/config.h"
+
+namespace coopfs {
+
+class SimContext {
+ public:
+  SimContext(const SimulationConfig& config, std::uint32_t num_clients,
+             std::size_t client_cache_blocks, std::size_t server_cache_blocks)
+      : config_(config), num_clients_(num_clients), rng_(config.seed) {
+    client_caches_.reserve(num_clients);
+    for (std::uint32_t c = 0; c < num_clients; ++c) {
+      client_caches_.push_back(std::make_unique<BlockCache>(client_cache_blocks));
+    }
+    // The configured server memory is divided evenly among the servers.
+    const std::uint32_t servers = std::max<std::uint32_t>(1, config.num_servers);
+    server_caches_.reserve(servers);
+    for (std::uint32_t s = 0; s < servers; ++s) {
+      server_caches_.push_back(std::make_unique<BlockCache>(server_cache_blocks / servers));
+    }
+  }
+
+  const SimulationConfig& config() const { return config_; }
+  std::uint32_t num_clients() const { return num_clients_; }
+  std::uint32_t num_servers() const { return static_cast<std::uint32_t>(server_caches_.size()); }
+
+  BlockCache& client_cache(ClientId c) { return *client_caches_[c]; }
+
+  // The server responsible for `file` (files are hash-striped; with one
+  // server this is always server 0, the paper's configuration).
+  std::uint32_t ServerFor(FileId file) const {
+    return num_servers() == 1
+               ? 0u
+               : static_cast<std::uint32_t>(
+                     std::hash<coopfs::BlockId>{}(BlockId{file, 0}) % num_servers());
+  }
+
+  BlockCache& server_cache_for(BlockId block) { return *server_caches_[ServerFor(block.file)]; }
+  BlockCache& server_cache(std::uint32_t server = 0) { return *server_caches_[server]; }
+  Directory& directory() { return directory_; }
+  Rng& rng() { return rng_; }
+
+  Micros now() const { return now_; }
+  void set_now(Micros now) { now_ = now; }
+
+  // Metrics are collected only after warm-up; load charges before that are
+  // dropped.
+  bool accounting() const { return accounting_; }
+  void set_accounting(bool on) { accounting_ = on; }
+
+  ServerLoadTracker& server_load() { return server_load_; }
+
+  // ---- Server-load charging (no-ops during warm-up) ----
+  void ChargeServerMemoryHit() {
+    if (accounting_) {
+      server_load_.ChargeServerMemoryHit();
+    }
+  }
+  void ChargeRemoteClientHit() {
+    if (accounting_) {
+      server_load_.ChargeRemoteClientHit();
+    }
+  }
+  void ChargeDiskHit() {
+    if (accounting_) {
+      server_load_.ChargeDiskHit();
+    }
+  }
+  void ChargeSmallMessages(std::uint64_t messages) {
+    if (accounting_) {
+      server_load_.ChargeSmallMessages(messages);
+    }
+  }
+
+  // ---- Delayed-write accounting (extension) ----
+  struct WriteStats {
+    std::uint64_t writes = 0;     // Write operations observed.
+    std::uint64_t flushed = 0;    // Dirty blocks written back to the server.
+    std::uint64_t absorbed = 0;   // Writes that died before flushing
+                                  // (overwritten or file deleted).
+    std::uint64_t lost = 0;       // Dirty blocks lost to a client reboot.
+  };
+  WriteStats& write_stats() { return write_stats_; }
+  void CountWrite() {
+    if (accounting_) {
+      ++write_stats_.writes;
+    }
+  }
+  void CountFlush() {
+    if (accounting_) {
+      ++write_stats_.flushed;
+    }
+  }
+  void CountAbsorbedWrite() {
+    if (accounting_) {
+      ++write_stats_.absorbed;
+    }
+  }
+  void CountLostWrite() {
+    if (accounting_) {
+      ++write_stats_.lost;
+    }
+  }
+
+  // ---- Known-blocks index ----
+  // The simulator has no file metadata beyond the trace, so it learns each
+  // file's blocks as they appear. Whole-file deletes and read-attribute
+  // refreshes iterate this index instead of scanning caches.
+  void NoteBlock(BlockId block) {
+    if (seen_blocks_.insert(block.Pack()).second) {
+      file_blocks_[block.file].push_back(block);
+    }
+  }
+
+  const std::vector<BlockId>& KnownBlocksOfFile(FileId file) const {
+    static const std::vector<BlockId> kEmpty;
+    auto it = file_blocks_.find(file);
+    return it == file_blocks_.end() ? kEmpty : it->second;
+  }
+
+  // Forgets a deleted file's blocks (ids are never reused by the workloads).
+  void ForgetFile(FileId file) {
+    auto it = file_blocks_.find(file);
+    if (it == file_blocks_.end()) {
+      return;
+    }
+    for (const BlockId& block : it->second) {
+      seen_blocks_.erase(block.Pack());
+    }
+    file_blocks_.erase(it);
+  }
+
+ private:
+  const SimulationConfig& config_;
+  std::uint32_t num_clients_;
+  std::vector<std::unique_ptr<BlockCache>> client_caches_;
+  std::vector<std::unique_ptr<BlockCache>> server_caches_;
+  Directory directory_;
+  Rng rng_;
+  Micros now_ = 0;
+  bool accounting_ = false;
+  ServerLoadTracker server_load_;
+  WriteStats write_stats_;
+
+  std::unordered_set<std::uint64_t> seen_blocks_;
+  std::unordered_map<FileId, std::vector<BlockId>> file_blocks_;
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_SIM_CONTEXT_H_

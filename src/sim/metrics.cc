@@ -1,0 +1,100 @@
+#include "src/sim/metrics.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "src/common/format.h"
+
+namespace coopfs {
+
+double SimulationResult::AverageReadTime() const {
+  if (reads == 0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (double t : level_time_us) {
+    total += t;
+  }
+  return total / static_cast<double>(reads);
+}
+
+double SimulationResult::LevelFraction(CacheLevel level) const {
+  return level_counts.Fraction(static_cast<std::size_t>(level));
+}
+
+double SimulationResult::LocalMissRate() const {
+  return 1.0 - LevelFraction(CacheLevel::kLocalMemory);
+}
+
+double SimulationResult::DiskRate() const { return LevelFraction(CacheLevel::kServerDisk); }
+
+double SimulationResult::SpeedupOver(const SimulationResult& baseline) const {
+  const double mine = AverageReadTime();
+  if (mine <= 0.0) {
+    return 1.0;
+  }
+  return baseline.AverageReadTime() / mine;
+}
+
+std::vector<double> SimulationResult::PerClientSpeedup(const SimulationResult& baseline) const {
+  const std::size_t n = std::max(per_client.size(), baseline.per_client.size());
+  std::vector<double> speedups(n, 1.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    const double mine =
+        c < per_client.size() ? per_client[c].AverageReadTime() : 0.0;
+    const double base =
+        c < baseline.per_client.size() ? baseline.per_client[c].AverageReadTime() : 0.0;
+    if (mine > 0.0 && base > 0.0) {
+      speedups[c] = base / mine;
+    }
+  }
+  return speedups;
+}
+
+double SimulationResult::RelativeServerLoad(const SimulationResult& baseline) const {
+  const auto base_units = baseline.server_load.TotalUnits();
+  if (base_units == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(server_load.TotalUnits()) / static_cast<double>(base_units);
+}
+
+std::string SimulationResult::ToString() const {
+  std::ostringstream out;
+  out << policy_name << ": " << reads << " reads, avg " << FormatDouble(AverageReadTime(), 1)
+      << " us (";
+  for (std::size_t i = 0; i < kNumCacheLevels; ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    out << CacheLevelName(static_cast<CacheLevel>(i)) << " "
+        << FormatPercent(level_counts.Fraction(i));
+  }
+  out << ")";
+  return out.str();
+}
+
+SimulationResult ApplyStackDeletion(const SimulationResult& result,
+                                    double hidden_local_hit_rate, double local_time_us) {
+  assert(hidden_local_hit_rate >= 0.0 && hidden_local_hit_rate < 1.0);
+  SimulationResult adjusted = result;
+  const double visible = static_cast<double>(result.reads);
+  const double hidden = visible * hidden_local_hit_rate / (1.0 - hidden_local_hit_rate);
+  const auto hidden_count = static_cast<std::uint64_t>(hidden + 0.5);
+
+  adjusted.reads += hidden_count;
+  adjusted.level_counts.Add(static_cast<std::size_t>(CacheLevel::kLocalMemory), hidden_count);
+  adjusted.level_time_us[static_cast<std::size_t>(CacheLevel::kLocalMemory)] +=
+      static_cast<double>(hidden_count) * local_time_us;
+  // Per-client inferred hits: distribute proportionally to visible reads.
+  for (auto& client : adjusted.per_client) {
+    const double client_hidden = static_cast<double>(client.reads) * hidden_local_hit_rate /
+                                 (1.0 - hidden_local_hit_rate);
+    client.reads += static_cast<std::uint64_t>(client_hidden + 0.5);
+    client.total_time_us += client_hidden * local_time_us;
+  }
+  adjusted.policy_name = result.policy_name;
+  return adjusted;
+}
+
+}  // namespace coopfs

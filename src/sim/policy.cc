@@ -1,0 +1,214 @@
+#include "src/sim/policy.h"
+
+#include <vector>
+
+namespace coopfs {
+
+void PolicyBase::CacheLocally(ClientId client, BlockId block) {
+  BlockCache& cache = ctx().client_cache(client);
+  if (!cache.CanInsert()) {
+    return;
+  }
+  if (CacheEntry* existing = cache.Touch(block); existing != nullptr) {
+    existing->last_ref = ctx().now();
+    return;
+  }
+  // The miss request that fetched this block already updated the server's
+  // directory (the paper's piggybacked update, §2.4), so the new holder is
+  // registered *before* eviction runs: is-singlet queries issued while
+  // making space must see the incoming copy.
+  ctx().directory().AddHolder(block, client);
+  while (cache.Full()) {
+    EvictForInsert(client);
+  }
+  cache.Insert(block).last_ref = ctx().now();
+}
+
+void PolicyBase::EvictForInsert(ClientId client) {
+  BlockCache& cache = ctx().client_cache(client);
+  CacheEntry* victim = cache.Lru();
+  if (victim == nullptr) {
+    return;
+  }
+  FlushIfDirty(client, victim->block);
+  DropLocal(client, victim->block);
+}
+
+void PolicyBase::FlushIfDirty(ClientId client, BlockId block) {
+  CacheEntry* entry = ctx().client_cache(client).Find(block);
+  if (entry == nullptr || !entry->dirty) {
+    return;
+  }
+  entry->dirty = false;
+  ctx().CountFlush();
+  InstallInServerCache(block);
+}
+
+void PolicyBase::Tick() {
+  if (flush_queue_.empty()) {
+    return;
+  }
+  const Micros now = ctx().now();
+  while (!flush_queue_.empty() && flush_queue_.front().due <= now) {
+    const PendingFlush pending = flush_queue_.front();
+    flush_queue_.pop_front();
+    // The entry may be gone, clean, or re-dirtied by a newer write (whose
+    // own flush is queued behind this one); only flush if this write is
+    // still the one pending.
+    CacheEntry* entry = ctx().client_cache(pending.client).Find(pending.block);
+    if (entry != nullptr && entry->dirty) {
+      FlushIfDirty(pending.client, pending.block);
+    }
+  }
+}
+
+std::optional<ReadOutcome> PolicyBase::MaybeServeFromDirtyHolder(ClientId client, BlockId block) {
+  if (!delayed_writes()) {
+    return std::nullopt;
+  }
+  for (ClientId holder : ctx().directory().Holders(block)) {
+    if (holder == client) {
+      continue;
+    }
+    const CacheEntry* entry = ctx().client_cache(holder).Find(block);
+    if (entry != nullptr && entry->dirty) {
+      // The server recalls/forwards from the dirty client: request to
+      // server, forward to holder, data to requester (3 hops) — exactly
+      // the DASH dirty-line forwarding of paper §5.
+      ctx().ChargeRemoteClientHit();
+      CacheLocally(client, block);
+      return ReadOutcome{CacheLevel::kRemoteClient, 3, true};
+    }
+  }
+  return std::nullopt;
+}
+
+void PolicyBase::DropLocal(ClientId client, BlockId block) {
+  ctx().client_cache(client).Erase(block);
+  ctx().directory().RemoveHolder(block, client);
+}
+
+void PolicyBase::InstallInServerCache(BlockId block) {
+  BlockCache& server = ctx().server_cache_for(block);
+  if (!server.CanInsert()) {
+    return;
+  }
+  if (CacheEntry* existing = server.Touch(block); existing != nullptr) {
+    existing->last_ref = ctx().now();
+    return;
+  }
+  while (server.Full()) {
+    std::optional<CacheEntry> victim = server.EvictLru();
+    if (!victim.has_value()) {
+      break;
+    }
+    OnServerEvict(victim->block);
+  }
+  server.Insert(block).last_ref = ctx().now();
+}
+
+void PolicyBase::Write(ClientId client, BlockId block) {
+  ctx().NoteBlock(block);
+  ctx().CountWrite();
+
+  // Write-invalidate: every other client copy dies; one small invalidation
+  // message per copy is charged to the server ("Other" in Figure 6). A
+  // dying dirty copy was superseded before it flushed: absorbed.
+  const std::vector<ClientId> holders = ctx().directory().Holders(block);  // Copy: we mutate.
+  for (ClientId holder : holders) {
+    if (holder == client) {
+      continue;
+    }
+    if (const CacheEntry* entry = ctx().client_cache(holder).Find(block);
+        entry != nullptr && entry->dirty) {
+      ctx().CountAbsorbedWrite();
+    }
+    DropLocal(holder, block);
+    ctx().ChargeSmallMessages(1);
+  }
+  OnInvalidateExtra(block, client);
+
+  if (!delayed_writes()) {
+    // Write-through: the server receives and caches the new data. (Write
+    // load itself is excluded from the Figure 6 comparison, as in the
+    // paper.) The writer keeps a local copy, inserted normally.
+    InstallInServerCache(block);
+    CacheLocally(client, block);
+    return;
+  }
+
+  // Delayed write: the data stays dirty in the writer's cache; the server's
+  // and disk's copies are now stale, so the server cache entry must go.
+  ctx().server_cache_for(block).Erase(block);
+  CacheLocally(client, block);
+  CacheEntry* entry = ctx().client_cache(client).Find(block);
+  if (entry == nullptr) {
+    // No local cache to hold dirty data (zero-capacity local section):
+    // degenerate to write-through.
+    InstallInServerCache(block);
+    return;
+  }
+  if (entry->dirty) {
+    // Overwrite of a still-dirty block: the earlier write is absorbed and
+    // the already-queued flush will cover this one.
+    ctx().CountAbsorbedWrite();
+  } else {
+    entry->dirty = true;
+    flush_queue_.push_back({ctx().now() + ctx().config().write_delay, client, block});
+  }
+  entry->dirty_since = ctx().now();
+}
+
+void PolicyBase::Delete(ClientId client, FileId file) {
+  (void)client;
+  // Purge every cached copy of every known block of the file. Unflushed
+  // dirty blocks die with it: their writes are absorbed (never reach disk —
+  // the short-lived-file effect delayed writes exploit).
+  for (const BlockId& block : ctx().KnownBlocksOfFile(file)) {
+    const std::vector<ClientId> holders = ctx().directory().Holders(block);  // Copy.
+    for (ClientId holder : holders) {
+      if (const CacheEntry* entry = ctx().client_cache(holder).Find(block);
+          entry != nullptr && entry->dirty) {
+        ctx().CountAbsorbedWrite();
+      }
+      ctx().client_cache(holder).Erase(block);
+      ctx().ChargeSmallMessages(1);
+    }
+    ctx().directory().EraseBlock(block);
+    ctx().server_cache_for(block).Erase(block);
+    OnInvalidateExtra(block, kNoClient);
+  }
+  ctx().ForgetFile(file);
+}
+
+void PolicyBase::Reboot(ClientId client) {
+  BlockCache& cache = ctx().client_cache(client);
+  // Collect first: DropLocal mutates the cache being iterated. Dirty blocks
+  // die with the machine's memory — the delayed-write reliability cost.
+  std::vector<BlockId> cached;
+  cached.reserve(cache.size());
+  cache.ForEachEntry([this, &cached](const CacheEntry& entry) {
+    if (entry.dirty) {
+      ctx().CountLostWrite();
+    }
+    cached.push_back(entry.block);
+  });
+  for (const BlockId& block : cached) {
+    DropLocal(client, block);
+  }
+  // The server learns of the reboot when the client re-registers: one
+  // message, after which it can prune its directory ("Other" load).
+  ctx().ChargeSmallMessages(1);
+  OnClientReboot(client);
+}
+
+void PolicyBase::ReadAttr(ClientId client, FileId file) {
+  BlockCache& cache = ctx().client_cache(client);
+  for (const BlockId& block : ctx().KnownBlocksOfFile(file)) {
+    if (CacheEntry* entry = cache.Touch(block); entry != nullptr) {
+      entry->last_ref = ctx().now();
+    }
+  }
+}
+
+}  // namespace coopfs

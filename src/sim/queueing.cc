@@ -1,0 +1,54 @@
+#include "src/sim/queueing.h"
+
+#include <cmath>
+
+namespace coopfs {
+
+double Mm1Inflation(double rho) {
+  if (rho >= 1.0) {
+    return HUGE_VAL;
+  }
+  if (rho <= 0.0) {
+    return 1.0;
+  }
+  return 1.0 / (1.0 - rho);
+}
+
+double OfferedLoadUnitsPerSecond(const SimulationResult& result, double span_seconds) {
+  if (span_seconds <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(result.server_load.TotalUnits()) / span_seconds;
+}
+
+Result<QueueingAdjustment> ApplyServerQueueing(const SimulationResult& result,
+                                               double span_seconds,
+                                               double capacity_units_per_second) {
+  if (span_seconds <= 0.0) {
+    return Status::InvalidArgument("span must be positive");
+  }
+  if (capacity_units_per_second <= 0.0) {
+    return Status::InvalidArgument("capacity must be positive");
+  }
+  QueueingAdjustment adjustment;
+  adjustment.utilization =
+      OfferedLoadUnitsPerSecond(result, span_seconds) / capacity_units_per_second;
+  if (adjustment.utilization >= 1.0) {
+    adjustment.saturated = true;
+    adjustment.inflation = HUGE_VAL;
+    adjustment.adjusted_read_time = HUGE_VAL;
+    return adjustment;
+  }
+  adjustment.inflation = Mm1Inflation(adjustment.utilization);
+  if (result.reads == 0) {
+    return adjustment;
+  }
+  const double reads = static_cast<double>(result.reads);
+  const double local_time =
+      result.level_time_us[static_cast<std::size_t>(CacheLevel::kLocalMemory)] / reads;
+  const double server_involved_time = result.AverageReadTime() - local_time;
+  adjustment.adjusted_read_time = local_time + server_involved_time * adjustment.inflation;
+  return adjustment;
+}
+
+}  // namespace coopfs

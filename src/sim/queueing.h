@@ -1,0 +1,44 @@
+// Server queueing model (extension; paper §3 caveat).
+//
+// The paper reports response times with no queueing, arguing (via Figure 6)
+// that the attractive algorithms do not raise server load. This module
+// makes that argument quantitative with the standard M/M/1 correction: a
+// server of capacity C load-units/second offered lambda units/second has
+// utilization rho = lambda/C, and its service latencies inflate by
+// 1/(1 - rho). ApplyServerQueueing inflates the server-involved portion of
+// a simulation result accordingly, so benches and embedders can ask "at
+// what server capacity does Central Coordination stop making sense?"
+#ifndef COOPFS_SRC_SIM_QUEUEING_H_
+#define COOPFS_SRC_SIM_QUEUEING_H_
+
+#include "src/common/status.h"
+#include "src/sim/metrics.h"
+
+namespace coopfs {
+
+// M/M/1 latency inflation factor at utilization `rho` in [0, 1).
+// Returns +inf (HUGE_VAL) at or beyond saturation.
+double Mm1Inflation(double rho);
+
+// Offered server load in units/second for a result measured over
+// `span_seconds` of simulated time.
+double OfferedLoadUnitsPerSecond(const SimulationResult& result, double span_seconds);
+
+struct QueueingAdjustment {
+  double utilization = 0.0;        // rho.
+  double inflation = 1.0;          // 1 / (1 - rho).
+  double adjusted_read_time = 0.0; // Average read including queueing delay.
+  bool saturated = false;          // rho >= 1: the server cannot keep up.
+};
+
+// Adjusts `result`'s average read time for a server able to process
+// `capacity_units_per_second`, given the simulated time span. Latency at
+// the local level is unaffected; all server-involved time inflates.
+// Returns kInvalidArgument for non-positive capacity or span.
+Result<QueueingAdjustment> ApplyServerQueueing(const SimulationResult& result,
+                                               double span_seconds,
+                                               double capacity_units_per_second);
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_SIM_QUEUEING_H_

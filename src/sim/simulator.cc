@@ -1,0 +1,142 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace coopfs {
+
+Simulator::Simulator(SimulationConfig config, const Trace* trace)
+    : config_(config), trace_(trace) {
+  assert(trace_ != nullptr);
+  num_clients_ = config.num_clients;
+  if (num_clients_ == 0) {
+    for (const TraceEvent& event : *trace_) {
+      num_clients_ = std::max(num_clients_, event.client + 1);
+    }
+  }
+}
+
+Micros Simulator::OutcomeLatency(const ReadOutcome& outcome, const SimulationConfig& config) {
+  const NetworkModel& net = config.network;
+  Micros latency = net.memory_copy;
+  latency += net.per_hop * outcome.hops;
+  if (outcome.data_transfer) {
+    latency += net.block_transfer;
+  }
+  if (outcome.level == CacheLevel::kServerDisk) {
+    latency += config.disk.access_time;
+  }
+  return latency;
+}
+
+Result<SimulationResult> Simulator::Run(Policy& policy, const ContextInspector& inspect) {
+  if (trace_->empty()) {
+    return Status::InvalidArgument("empty trace");
+  }
+  if (num_clients_ == 0) {
+    return Status::InvalidArgument("no clients");
+  }
+
+  SimContext context(config_, num_clients_, policy.ClientCacheBlocks(config_),
+                     policy.ServerCacheBlocks(config_));
+  policy.Attach(context);
+
+  SimulationResult result;
+  result.policy_name = policy.Name();
+  result.per_client.resize(num_clients_);
+
+  // Timeline bucketing state (config_.timeline_interval > 0 only).
+  const Micros interval = config_.timeline_interval;
+  Micros bucket_end = interval > 0 && !trace_->empty()
+                          ? trace_->front().timestamp + interval
+                          : 0;
+  std::uint64_t bucket_reads = 0;
+  std::uint64_t bucket_disk = 0;
+  double bucket_time = 0.0;
+  auto close_bucket = [&](Micros end_time) {
+    if (bucket_reads > 0) {
+      SimulationResult::TimelinePoint point;
+      point.end_time = end_time;
+      point.reads = bucket_reads;
+      point.avg_read_time_us = bucket_time / static_cast<double>(bucket_reads);
+      point.disk_rate = static_cast<double>(bucket_disk) / static_cast<double>(bucket_reads);
+      result.timeline.push_back(point);
+    }
+    bucket_reads = 0;
+    bucket_disk = 0;
+    bucket_time = 0.0;
+  };
+
+  std::uint64_t index = 0;
+  for (const TraceEvent& event : *trace_) {
+    context.set_now(event.timestamp);
+    context.set_accounting(index >= config_.warmup_events);
+    if (event.client >= num_clients_) {
+      return Status::InvalidArgument("event client id out of range at event " +
+                                     std::to_string(index));
+    }
+    if (interval > 0) {
+      while (event.timestamp >= bucket_end) {
+        close_bucket(bucket_end);
+        bucket_end += interval;
+      }
+    }
+    policy.Tick();
+    switch (event.type) {
+      case EventType::kRead: {
+        context.NoteBlock(event.block);
+        const ReadOutcome outcome = policy.Read(event.client, event.block);
+        if (context.accounting()) {
+          const Micros latency = OutcomeLatency(outcome, config_);
+          const auto level = static_cast<std::size_t>(outcome.level);
+          result.level_counts.Add(level);
+          result.level_time_us[level] += static_cast<double>(latency);
+          ++result.reads;
+          ClientReadStats& client_stats = result.per_client[event.client];
+          ++client_stats.reads;
+          client_stats.total_time_us += static_cast<double>(latency);
+          result.latency_histogram.Add(static_cast<double>(latency));
+          if (interval > 0) {
+            ++bucket_reads;
+            bucket_time += static_cast<double>(latency);
+            if (outcome.level == CacheLevel::kServerDisk) {
+              ++bucket_disk;
+            }
+          }
+        }
+        break;
+      }
+      case EventType::kWrite:
+        policy.Write(event.client, event.block);
+        break;
+      case EventType::kDelete:
+        policy.Delete(event.client, event.block.file);
+        break;
+      case EventType::kReadAttr:
+        policy.ReadAttr(event.client, event.block.file);
+        break;
+      case EventType::kReboot:
+        policy.Reboot(event.client);
+        break;
+    }
+    ++index;
+  }
+
+  if (interval > 0) {
+    close_bucket(bucket_end);
+  }
+  result.server_load = context.server_load();
+  result.writes = context.write_stats().writes;
+  result.flushed_writes = context.write_stats().flushed;
+  result.absorbed_writes = context.write_stats().absorbed;
+  result.lost_writes = context.write_stats().lost;
+  if (inspect) {
+    inspect(context);
+  }
+  COOPFS_LOG(kInfo) << result.ToString();
+  return result;
+}
+
+}  // namespace coopfs

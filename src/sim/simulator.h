@@ -1,0 +1,51 @@
+// Trace-replay simulation engine (paper §3).
+//
+// Replays a block-level trace against a policy: reads are dispatched to the
+// policy and their outcomes converted to latency using the technology model;
+// writes, deletes, and read-attribute events update cache state. The first
+// `warmup_events` events warm the caches without being counted.
+#ifndef COOPFS_SRC_SIM_SIMULATOR_H_
+#define COOPFS_SRC_SIM_SIMULATOR_H_
+
+#include <functional>
+
+#include "src/common/status.h"
+#include "src/sim/config.h"
+#include "src/sim/metrics.h"
+#include "src/sim/policy.h"
+#include "src/trace/event.h"
+
+namespace coopfs {
+
+class Simulator {
+ public:
+  // Called with the final context after the last event, before teardown.
+  using ContextInspector = std::function<void(SimContext&)>;
+
+  // `trace` must outlive the simulator and be time-ordered.
+  Simulator(SimulationConfig config, const Trace* trace);
+
+  // Runs `policy` over the trace in a fresh context and returns its metrics.
+  // Returns kInvalidArgument for configurations that cannot run (e.g. an
+  // empty trace). `inspect`, if given, sees the end-of-run context (used by
+  // the invariant-checking tests in tests/).
+  Result<SimulationResult> Run(Policy& policy, const ContextInspector& inspect = nullptr);
+
+  // Number of clients (from the config, or inferred from the trace).
+  std::uint32_t num_clients() const { return num_clients_; }
+
+  const SimulationConfig& config() const { return config_; }
+
+  // Latency charged for one read outcome under `config` (exposed for tests
+  // and for reporting the Figure 3 table).
+  static Micros OutcomeLatency(const ReadOutcome& outcome, const SimulationConfig& config);
+
+ private:
+  SimulationConfig config_;
+  const Trace* trace_;
+  std::uint32_t num_clients_ = 0;
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_SIM_SIMULATOR_H_

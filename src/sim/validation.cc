@@ -1,0 +1,73 @@
+#include "src/sim/validation.h"
+
+#include <string>
+
+namespace coopfs {
+
+Status CheckCacheDirectoryConsistency(SimContext& context) {
+  // Caches -> directory, capacity, and N-Chance metadata.
+  for (std::uint32_t c = 0; c < context.num_clients(); ++c) {
+    BlockCache& cache = context.client_cache(c);
+    if (cache.size() > cache.capacity()) {
+      return Status::Internal("client " + std::to_string(c) + " over capacity: " +
+                              std::to_string(cache.size()) + " > " +
+                              std::to_string(cache.capacity()));
+    }
+    Status status = Status::Ok();
+    cache.ForEachEntry([&](const CacheEntry& entry) {
+      if (!status.ok()) {
+        return;
+      }
+      const auto& holders = context.directory().Holders(entry.block);
+      bool found = false;
+      for (ClientId holder : holders) {
+        found = found || holder == c;
+      }
+      if (!found) {
+        status = Status::Internal("client " + std::to_string(c) + " caches " +
+                                  entry.block.ToString() + " but is not a directory holder");
+        return;
+      }
+      if ((entry.recirculating() || entry.singlet_flag) && holders.size() != 1) {
+        status = Status::Internal("client " + std::to_string(c) + " holds " +
+                                  entry.block.ToString() +
+                                  " marked singlet but it has " +
+                                  std::to_string(holders.size()) + " holders");
+      }
+    });
+    if (!status.ok()) {
+      return status;
+    }
+  }
+
+  // Directory -> caches.
+  Status status = Status::Ok();
+  context.directory().ForEachBlock([&](BlockId block, const std::vector<ClientId>& holders) {
+    if (!status.ok()) {
+      return;
+    }
+    for (ClientId holder : holders) {
+      if (holder >= context.num_clients()) {
+        status = Status::Internal("directory holder out of range for " + block.ToString());
+        return;
+      }
+      if (!context.client_cache(holder).Contains(block)) {
+        status = Status::Internal("directory says client " + std::to_string(holder) +
+                                  " caches " + block.ToString() + " but it does not");
+        return;
+      }
+    }
+  });
+  if (!status.ok()) {
+    return status;
+  }
+
+  for (std::uint32_t server = 0; server < context.num_servers(); ++server) {
+    if (context.server_cache(server).size() > context.server_cache(server).capacity()) {
+      return Status::Internal("server " + std::to_string(server) + " cache over capacity");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace coopfs

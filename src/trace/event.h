@@ -1,0 +1,66 @@
+// Trace event model.
+//
+// A trace is a time-ordered sequence of block-granularity file system
+// operations observed at clients, equivalent in structure to the Sprite
+// traces of Baker et al. '91 that the paper replays: block reads, block
+// writes, whole-file deletes, and (for NFS-style snooped traces) read-
+// attribute validation requests.
+#ifndef COOPFS_SRC_TRACE_EVENT_H_
+#define COOPFS_SRC_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace coopfs {
+
+enum class EventType : std::uint8_t {
+  kRead = 0,      // Client reads one block.
+  kWrite = 1,     // Client writes one block (written through to the server).
+  kDelete = 2,    // Client deletes a whole file (block index ignored).
+  kReadAttr = 3,  // NFS read-attribute validation (Auspex traces, §4.4).
+  kReboot = 4,    // Client restarts: its cache contents are lost (block
+                  // ignored). Workstation churn; an extension beyond the
+                  // paper's experiments (see DESIGN.md extensions).
+};
+
+inline constexpr std::uint8_t kMaxEventType = static_cast<std::uint8_t>(EventType::kReboot);
+
+constexpr const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kRead:
+      return "read";
+    case EventType::kWrite:
+      return "write";
+    case EventType::kDelete:
+      return "delete";
+    case EventType::kReadAttr:
+      return "attr";
+    case EventType::kReboot:
+      return "reboot";
+  }
+  return "unknown";
+}
+
+// One trace record. 24 bytes; traces are held as flat vectors.
+struct TraceEvent {
+  Micros timestamp = 0;  // Microseconds since trace start; non-decreasing.
+  BlockId block;         // For kDelete only block.file is meaningful.
+  ClientId client = 0;
+  EventType type = EventType::kRead;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+
+  std::string ToString() const {
+    return std::to_string(timestamp) + " c" + std::to_string(client) + " " +
+           EventTypeName(type) + " " + block.ToString();
+  }
+};
+
+using Trace = std::vector<TraceEvent>;
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_TRACE_EVENT_H_

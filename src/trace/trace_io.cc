@@ -1,0 +1,238 @@
+#include "src/trace/trace_io.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace coopfs {
+
+namespace {
+
+constexpr char kTextMagic[] = "#ccft v1";
+constexpr std::array<char, 8> kBinaryMagic = {'c', 'c', 'f', 'b', ' ', 'v', '1', '\n'};
+
+// Record layout for the binary format (little-endian, packed by hand so the
+// format does not depend on struct padding):
+//   int64  timestamp
+//   uint32 file
+//   uint32 block
+//   uint32 client
+//   uint8  type
+// = 21 bytes per record.
+constexpr std::size_t kBinaryRecordSize = 21;
+
+void PutU32(char* p, std::uint32_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+  p[2] = static_cast<char>((v >> 16) & 0xff);
+  p[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+std::uint32_t GetU32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+void PutU64(char* p, std::uint64_t v) {
+  PutU32(p, static_cast<std::uint32_t>(v & 0xffffffffu));
+  PutU32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t GetU64(const char* p) {
+  return static_cast<std::uint64_t>(GetU32(p)) |
+         (static_cast<std::uint64_t>(GetU32(p + 4)) << 32);
+}
+
+Result<EventType> ParseEventType(const std::string& token) {
+  if (token == "read") {
+    return EventType::kRead;
+  }
+  if (token == "write") {
+    return EventType::kWrite;
+  }
+  if (token == "delete") {
+    return EventType::kDelete;
+  }
+  if (token == "attr") {
+    return EventType::kReadAttr;
+  }
+  if (token == "reboot") {
+    return EventType::kReboot;
+  }
+  return Status::InvalidArgument("unknown event type: " + token);
+}
+
+}  // namespace
+
+Status WriteTraceText(const Trace& trace, std::ostream& out) {
+  out << kTextMagic << "\n";
+  out << "# timestamp_us client op file block\n";
+  for (const TraceEvent& e : trace) {
+    out << e.timestamp << ' ' << e.client << ' ' << EventTypeName(e.type) << ' ' << e.block.file
+        << ' ' << e.block.block << '\n';
+  }
+  if (!out) {
+    return Status::IoError("write failed");
+  }
+  return Status::Ok();
+}
+
+Status WriteTraceBinary(const Trace& trace, std::ostream& out) {
+  out.write(kBinaryMagic.data(), kBinaryMagic.size());
+  char count_buf[8];
+  PutU64(count_buf, trace.size());
+  out.write(count_buf, sizeof(count_buf));
+  char rec[kBinaryRecordSize];
+  for (const TraceEvent& e : trace) {
+    PutU64(rec, static_cast<std::uint64_t>(e.timestamp));
+    PutU32(rec + 8, e.block.file);
+    PutU32(rec + 12, e.block.block);
+    PutU32(rec + 16, e.client);
+    rec[20] = static_cast<char>(e.type);
+    out.write(rec, sizeof(rec));
+  }
+  if (!out) {
+    return Status::IoError("write failed");
+  }
+  return Status::Ok();
+}
+
+Result<TraceEvent> ParseTraceLine(const std::string& line) {
+  if (line.empty() || line[0] == '#') {
+    return Status::NotFound("comment or blank line");
+  }
+  std::istringstream in(line);
+  TraceEvent event;
+  std::string type_token;
+  std::int64_t timestamp = 0;
+  std::uint32_t client = 0;
+  std::uint32_t file = 0;
+  std::uint32_t block = 0;
+  if (!(in >> timestamp >> client >> type_token >> file >> block)) {
+    return Status::InvalidArgument("malformed trace line: " + line);
+  }
+  if (timestamp < 0) {
+    return Status::InvalidArgument("negative timestamp: " + line);
+  }
+  Result<EventType> type = ParseEventType(type_token);
+  if (!type.ok()) {
+    return type.status();
+  }
+  event.timestamp = timestamp;
+  event.client = client;
+  event.type = *type;
+  event.block = BlockId{file, block};
+  return event;
+}
+
+namespace {
+
+Result<Trace> ReadTraceText(std::istream& in) {
+  Trace trace;
+  std::string line;
+  Micros last_timestamp = 0;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    Result<TraceEvent> event = ParseTraceLine(line);
+    if (!event.ok()) {
+      if (event.status().code() == StatusCode::kNotFound) {
+        continue;  // Comment or blank.
+      }
+      return Status::InvalidArgument("line " + std::to_string(line_number) + ": " +
+                                     event.status().message());
+    }
+    if (event->timestamp < last_timestamp) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": timestamps must be non-decreasing");
+    }
+    last_timestamp = event->timestamp;
+    trace.push_back(*event);
+  }
+  return trace;
+}
+
+Result<Trace> ReadTraceBinary(std::istream& in) {
+  // Magic already consumed by the caller.
+  char count_buf[8];
+  if (!in.read(count_buf, sizeof(count_buf))) {
+    return Status::DataLoss("truncated binary trace header");
+  }
+  const std::uint64_t count = GetU64(count_buf);
+  Trace trace;
+  // Never trust the header for allocation: a corrupted count would make
+  // reserve() throw (or OOM). Cap the up-front reservation; a short stream
+  // is detected record-by-record below.
+  constexpr std::uint64_t kMaxReserve = 1u << 22;  // ~100 MB of events.
+  trace.reserve(static_cast<std::size_t>(std::min(count, kMaxReserve)));
+  char rec[kBinaryRecordSize];
+  Micros last_timestamp = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!in.read(rec, sizeof(rec))) {
+      return Status::DataLoss("truncated binary trace at record " + std::to_string(i));
+    }
+    TraceEvent event;
+    event.timestamp = static_cast<Micros>(GetU64(rec));
+    event.block = BlockId{GetU32(rec + 8), GetU32(rec + 12)};
+    event.client = GetU32(rec + 16);
+    const auto raw_type = static_cast<unsigned char>(rec[20]);
+    if (raw_type > kMaxEventType) {
+      return Status::DataLoss("bad event type at record " + std::to_string(i));
+    }
+    event.type = static_cast<EventType>(raw_type);
+    if (event.timestamp < last_timestamp) {
+      return Status::DataLoss("timestamps must be non-decreasing at record " + std::to_string(i));
+    }
+    last_timestamp = event.timestamp;
+    trace.push_back(event);
+  }
+  return trace;
+}
+
+}  // namespace
+
+Result<Trace> ReadTrace(std::istream& in) {
+  std::array<char, 8> magic{};
+  if (!in.read(magic.data(), magic.size())) {
+    return Status::DataLoss("trace shorter than a format header");
+  }
+  if (magic == kBinaryMagic) {
+    return ReadTraceBinary(in);
+  }
+  // Rewind and parse as text.
+  in.clear();
+  in.seekg(0);
+  return ReadTraceText(in);
+}
+
+Status WriteTraceTextFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for write: " + path);
+  }
+  return WriteTraceText(trace, out);
+}
+
+Status WriteTraceBinaryFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open for write: " + path);
+  }
+  return WriteTraceBinary(trace, out);
+}
+
+Result<Trace> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open for read: " + path);
+  }
+  return ReadTrace(in);
+}
+
+}  // namespace coopfs

@@ -1,0 +1,63 @@
+#include "src/trace/trace_stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "src/common/format.h"
+
+namespace coopfs {
+
+TraceStats ComputeTraceStats(const Trace& trace) {
+  TraceStats stats;
+  std::unordered_set<std::uint64_t> blocks;
+  std::unordered_set<std::uint64_t> read_blocks;
+  std::unordered_set<FileId> files;
+  for (const TraceEvent& e : trace) {
+    ++stats.num_events;
+    stats.num_clients = std::max(stats.num_clients, e.client + 1);
+    files.insert(e.block.file);
+    switch (e.type) {
+      case EventType::kRead:
+        ++stats.num_reads;
+        blocks.insert(e.block.Pack());
+        read_blocks.insert(e.block.Pack());
+        ++stats.reads_per_client[e.client];
+        break;
+      case EventType::kWrite:
+        ++stats.num_writes;
+        blocks.insert(e.block.Pack());
+        break;
+      case EventType::kDelete:
+        ++stats.num_deletes;
+        break;
+      case EventType::kReadAttr:
+        ++stats.num_attrs;
+        break;
+      case EventType::kReboot:
+        ++stats.num_reboots;
+        break;
+    }
+  }
+  if (!trace.empty()) {
+    stats.duration = trace.back().timestamp - trace.front().timestamp;
+  }
+  stats.unique_blocks = blocks.size();
+  stats.unique_read_blocks = read_blocks.size();
+  stats.unique_files = files.size();
+  return stats;
+}
+
+std::string TraceStats::ToString() const {
+  std::ostringstream out;
+  out << "events: " << num_events << " (reads " << num_reads << ", writes " << num_writes
+      << ", deletes " << num_deletes << ", attrs " << num_attrs << ", reboots " << num_reboots
+      << ")\n";
+  out << "clients: " << num_clients << ", files: " << unique_files << "\n";
+  out << "unique blocks: " << unique_blocks << " (" << FormatBytes(FootprintBytes())
+      << "), unique read blocks: " << unique_read_blocks << "\n";
+  out << "duration: " << FormatMicros(static_cast<double>(duration)) << "\n";
+  return out.str();
+}
+
+}  // namespace coopfs

@@ -1,0 +1,41 @@
+// Summary statistics over a trace: event mix, per-client activity, and data
+// footprint. Used by trace tooling, generator calibration, and tests.
+#ifndef COOPFS_SRC_TRACE_TRACE_STATS_H_
+#define COOPFS_SRC_TRACE_TRACE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/trace/event.h"
+
+namespace coopfs {
+
+struct TraceStats {
+  std::uint64_t num_events = 0;
+  std::uint64_t num_reads = 0;
+  std::uint64_t num_writes = 0;
+  std::uint64_t num_deletes = 0;
+  std::uint64_t num_attrs = 0;
+  std::uint64_t num_reboots = 0;
+
+  std::uint64_t unique_blocks = 0;       // Distinct BlockIds read or written.
+  std::uint64_t unique_read_blocks = 0;  // Distinct BlockIds read.
+  std::uint64_t unique_files = 0;
+  Micros duration = 0;
+
+  std::uint32_t num_clients = 0;  // max client id + 1.
+  // Read counts per client, sorted by client id.
+  std::map<ClientId, std::uint64_t> reads_per_client;
+
+  // Total bytes of distinct blocks touched (unique_blocks * block size).
+  std::uint64_t FootprintBytes() const { return unique_blocks * kBlockSizeBytes; }
+
+  std::string ToString() const;
+};
+
+TraceStats ComputeTraceStats(const Trace& trace);
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_TRACE_TRACE_STATS_H_

@@ -1,0 +1,82 @@
+#include "src/trace/trace_transform.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace coopfs {
+
+Trace FilterTrace(const Trace& trace, const std::function<bool(const TraceEvent&)>& keep) {
+  Trace result;
+  for (const TraceEvent& event : trace) {
+    if (keep(event)) {
+      result.push_back(event);
+    }
+  }
+  return result;
+}
+
+Trace FilterTraceToClients(const Trace& trace, const std::vector<ClientId>& clients) {
+  return FilterTrace(trace, [&clients](const TraceEvent& event) {
+    return std::find(clients.begin(), clients.end(), event.client) != clients.end();
+  });
+}
+
+Trace SliceTraceByTime(const Trace& trace, Micros begin, Micros end) {
+  return FilterTrace(trace, [begin, end](const TraceEvent& event) {
+    return event.timestamp >= begin && event.timestamp < end;
+  });
+}
+
+Trace TraceHead(const Trace& trace, std::size_t count) {
+  Trace result(trace.begin(),
+               trace.begin() + static_cast<std::ptrdiff_t>(std::min(count, trace.size())));
+  return result;
+}
+
+Trace CompactClientIds(const Trace& trace) {
+  Trace result = trace;
+  std::unordered_map<ClientId, ClientId> mapping;
+  for (TraceEvent& event : result) {
+    auto [it, inserted] = mapping.try_emplace(event.client,
+                                              static_cast<ClientId>(mapping.size()));
+    event.client = it->second;
+  }
+  return result;
+}
+
+Trace MergeTraces(const Trace& a, const Trace& b, std::uint32_t client_offset) {
+  Trace result;
+  result.reserve(a.size() + b.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.size() || ib < b.size()) {
+    const bool take_a =
+        ib >= b.size() || (ia < a.size() && a[ia].timestamp <= b[ib].timestamp);
+    if (take_a) {
+      result.push_back(a[ia++]);
+    } else {
+      TraceEvent event = b[ib++];
+      event.client += client_offset;
+      result.push_back(event);
+    }
+  }
+  return result;
+}
+
+Status ValidateTrace(const Trace& trace, std::uint32_t max_clients) {
+  Micros last = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& event = trace[i];
+    if (event.timestamp < last) {
+      return Status::InvalidArgument("timestamps decrease at event " + std::to_string(i));
+    }
+    last = event.timestamp;
+    if (max_clients > 0 && event.client >= max_clients) {
+      return Status::OutOfRange("client " + std::to_string(event.client) +
+                                " out of range at event " + std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace coopfs

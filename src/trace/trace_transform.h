@@ -1,0 +1,44 @@
+// Trace manipulation utilities: filtering, slicing, merging, and client
+// remapping. Used by the trace_tools CLI and available to embedders that
+// preprocess traces (e.g. isolating one client's activity or splicing two
+// captures, the way the paper restricted the Sprite traces to the main
+// server's accesses — 81% of the raw trace, §3 footnote 1).
+#ifndef COOPFS_SRC_TRACE_TRACE_TRANSFORM_H_
+#define COOPFS_SRC_TRACE_TRACE_TRANSFORM_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/trace/event.h"
+
+namespace coopfs {
+
+// Events satisfying `keep`, in order.
+Trace FilterTrace(const Trace& trace, const std::function<bool(const TraceEvent&)>& keep);
+
+// Events of the given clients only.
+Trace FilterTraceToClients(const Trace& trace, const std::vector<ClientId>& clients);
+
+// Events with timestamps in [begin, end).
+Trace SliceTraceByTime(const Trace& trace, Micros begin, Micros end);
+
+// The first `count` events.
+Trace TraceHead(const Trace& trace, std::size_t count);
+
+// Renumbers client ids densely (0..k-1, in order of first appearance) so a
+// filtered trace simulates with k clients instead of the original range.
+// Returns the renumbered trace.
+Trace CompactClientIds(const Trace& trace);
+
+// Merges two time-ordered traces into one time-ordered trace, offsetting
+// the second trace's client ids by `client_offset` (0 keeps them shared).
+Trace MergeTraces(const Trace& a, const Trace& b, std::uint32_t client_offset);
+
+// Validates structural well-formedness: non-decreasing timestamps and (if
+// `max_clients` > 0) client ids below the bound.
+Status ValidateTrace(const Trace& trace, std::uint32_t max_clients = 0);
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_TRACE_TRACE_TRANSFORM_H_

@@ -1,0 +1,126 @@
+// Synthetic file-system workload generation.
+//
+// The paper replays the Sprite traces (Baker et al. '91; 42 clients, 2 days,
+// >700k block accesses) and a snooped Berkeley Auspex NFS trace (237 clients,
+// 6 days, 5M events). Those traces are not redistributable, so coopfs ships a
+// deterministic generator that reproduces the workload *structure* the
+// paper's results depend on:
+//
+//   * temporal locality: each client re-references a small working set, so a
+//     16 MB local cache yields a ~78% local hit rate (paper §4.1, fn. 3);
+//   * inter-client sharing: popular files (system binaries etc.) are read by
+//     many clients, creating the duplicate cache entries that coordinated
+//     algorithms reclaim;
+//   * activity skew: a few clients issue most of the traffic while many sit
+//     nearly idle, making idle remote memory available (paper §2.4, §4.2.1);
+//   * an aggregate hot footprint larger than the server cache but smaller
+//     than total client memory, so cooperation can roughly halve disk
+//     accesses (paper Figure 5);
+//   * sequential runs within files and whole-file deletes, as in Sprite.
+//
+// The model: files are divided into classes (shared-hot, shared-cold,
+// private, temp). Each client alternates bursts of accesses drawn from its
+// working set of open files; within a file accesses are sequential runs.
+// Everything draws from one seeded RNG, so a config+seed pair defines the
+// trace bit-for-bit.
+#ifndef COOPFS_SRC_TRACE_WORKLOAD_H_
+#define COOPFS_SRC_TRACE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/trace/event.h"
+
+namespace coopfs {
+
+// One class of files with shared generation behaviour.
+struct FileClassConfig {
+  std::size_t num_files = 0;        // Files in this class (per client for kPrivate).
+  std::uint32_t min_blocks = 1;     // File size range, in 8 KB blocks.
+  std::uint32_t max_blocks = 16;
+  double select_weight = 1.0;       // Relative probability of opening this class.
+  double write_fraction = 0.2;      // P(access is a write | this class).
+  double zipf_s = 0.85;             // Popularity skew within the class.
+  bool private_per_client = false;  // Owner-only access (home directories).
+  bool delete_after_use = false;    // Temp files: deleted when closed.
+};
+
+struct WorkloadConfig {
+  std::uint64_t seed = 42;
+  std::uint32_t num_clients = 42;
+  std::uint64_t num_events = 700'000;
+  Micros duration = static_cast<Micros>(2) * 24 * 3600 * 1'000'000;  // 2 days.
+
+  // Client activity skew: client weights follow Zipf(activity_zipf_s) over a
+  // random permutation of clients. 0 = uniform activity.
+  double activity_zipf_s = 1.0;
+
+  // Working set behaviour.
+  std::size_t working_set_files = 6;   // Open files per client.
+  double reopen_probability = 0.94;    // P(next access uses an open file).
+  double run_stop_probability = 0.35;  // Geometric sequential-run terminator.
+  std::uint32_t max_run_blocks = 64;
+
+  // Probability that an access to a private file comes from a non-owner
+  // (process migration, shared project directories).
+  double private_cross_access = 0.02;
+
+  // Workstation churn: expected number of reboots per client over the whole
+  // trace (0 = none, the paper's setting). A reboot empties the client's
+  // caches; the churn ablation bench sweeps this.
+  double mean_reboots_per_client = 0.0;
+
+  // File classes. Defaults populated by the named presets below.
+  std::vector<FileClassConfig> classes;
+
+  // Emit kReadAttr events for suppressed local re-reads (NFS-style traces).
+  bool emit_read_attrs = false;
+
+  // If > 0, filter the stream through a per-client LRU "local cache" of this
+  // many blocks and emit only misses, modelling a network-snooped trace that
+  // cannot see local hits (Berkeley Auspex, paper §4.4). Writes are always
+  // visible (write-through). kNumEvents then counts *emitted* events.
+  std::size_t snoop_filter_blocks = 0;
+  // Attribute-cache window: a filtered local hit emits kReadAttr unless one
+  // was emitted for the same file within this window (paper §4.4: 3 s).
+  Micros attr_cache_window = 3'000'000;
+};
+
+// Preset approximating Sprite traces 5-6: 42 clients, 2 days, 700k accesses.
+WorkloadConfig SpriteWorkloadConfig(std::uint64_t seed = 42);
+
+// Preset approximating the Berkeley Auspex NFS trace: 237 clients, 6 days,
+// 5M *visible* (snooped) events with read-attribute hints.
+WorkloadConfig AuspexWorkloadConfig(std::uint64_t seed = 1994);
+
+// Small preset for unit/integration tests: quick to generate and simulate.
+WorkloadConfig SmallTestWorkloadConfig(std::uint64_t seed = 7);
+
+// Generates the trace for `config`. Deterministic in (config, seed).
+Trace GenerateWorkload(const WorkloadConfig& config);
+
+// --- Leff-style validation workload (paper §3: "We verified our simulator by
+// using the synthetic workload described in [Leff93a] as input.") ---
+//
+// Every client accesses a fixed set of objects with time-invariant, known
+// per-client probabilities: client c's accesses draw object ranks from
+// Zipf(s) over a per-client random permutation of the object set. Because
+// the distribution is stationary, steady-state hit rates are analytically
+// predictable, which the integration tests exploit.
+struct LeffWorkloadConfig {
+  std::uint64_t seed = 11;
+  std::uint32_t num_clients = 8;
+  std::size_t num_objects = 4096;  // Single-block objects.
+  double zipf_s = 1.0;
+  std::uint64_t num_events = 200'000;
+  double shared_fraction = 0.5;  // Fraction of draws from a global (shared)
+                                 // permutation instead of the client's own.
+};
+
+Trace GenerateLeffWorkload(const LeffWorkloadConfig& config);
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_TRACE_WORKLOAD_H_

@@ -1,0 +1,214 @@
+#include "src/cache/block_cache.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace coopfs {
+namespace {
+
+BlockId B(std::uint32_t file, std::uint32_t block = 0) { return BlockId{file, block}; }
+
+TEST(BlockCacheTest, StartsEmpty) {
+  BlockCache cache(4);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.capacity(), 4u);
+  EXPECT_FALSE(cache.Full());
+  EXPECT_FALSE(cache.Contains(B(1)));
+  EXPECT_EQ(cache.Find(B(1)), nullptr);
+  EXPECT_EQ(cache.Lru(), nullptr);
+  EXPECT_EQ(cache.Mru(), nullptr);
+}
+
+TEST(BlockCacheTest, InsertAndFind) {
+  BlockCache cache(4);
+  CacheEntry& entry = cache.Insert(B(1, 2));
+  EXPECT_EQ(entry.block, B(1, 2));
+  EXPECT_TRUE(cache.Contains(B(1, 2)));
+  EXPECT_EQ(cache.Find(B(1, 2)), &entry);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(BlockCacheTest, LruOrderFollowsInsertion) {
+  BlockCache cache(3);
+  cache.Insert(B(1));
+  cache.Insert(B(2));
+  cache.Insert(B(3));
+  EXPECT_EQ(cache.Lru()->block, B(1));
+  EXPECT_EQ(cache.Mru()->block, B(3));
+}
+
+TEST(BlockCacheTest, TouchRenews) {
+  BlockCache cache(3);
+  cache.Insert(B(1));
+  cache.Insert(B(2));
+  cache.Insert(B(3));
+  EXPECT_NE(cache.Touch(B(1)), nullptr);
+  EXPECT_EQ(cache.Mru()->block, B(1));
+  EXPECT_EQ(cache.Lru()->block, B(2));
+  EXPECT_EQ(cache.Touch(B(99)), nullptr);
+}
+
+TEST(BlockCacheTest, FindDoesNotRenew) {
+  BlockCache cache(3);
+  cache.Insert(B(1));
+  cache.Insert(B(2));
+  EXPECT_NE(cache.Find(B(1)), nullptr);
+  EXPECT_EQ(cache.Lru()->block, B(1));
+}
+
+TEST(BlockCacheTest, EvictLruReturnsVictim) {
+  BlockCache cache(2);
+  cache.Insert(B(1)).recirculation_count = 2;
+  cache.Insert(B(2));
+  const std::optional<CacheEntry> victim = cache.EvictLru();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->block, B(1));
+  EXPECT_EQ(victim->recirculation_count, 2);  // Metadata survives the copy.
+  EXPECT_FALSE(cache.Contains(B(1)));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(BlockCacheTest, EvictLruOnEmptyIsNullopt) {
+  BlockCache cache(2);
+  EXPECT_FALSE(cache.EvictLru().has_value());
+}
+
+TEST(BlockCacheTest, EraseRemoves) {
+  BlockCache cache(2);
+  cache.Insert(B(1));
+  EXPECT_TRUE(cache.Erase(B(1)));
+  EXPECT_FALSE(cache.Erase(B(1)));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BlockCacheTest, ZeroCapacityRejectsInsertion) {
+  BlockCache cache(0);
+  EXPECT_FALSE(cache.CanInsert());
+  EXPECT_TRUE(cache.Full());
+}
+
+TEST(BlockCacheTest, MoveToLruAndMru) {
+  BlockCache cache(3);
+  cache.Insert(B(1));
+  CacheEntry& two = cache.Insert(B(2));
+  cache.Insert(B(3));
+  cache.MoveToLru(&two);
+  EXPECT_EQ(cache.Lru()->block, B(2));
+  cache.MoveToMru(&two);
+  EXPECT_EQ(cache.Mru()->block, B(2));
+}
+
+TEST(BlockCacheTest, ScanFromLruVisitsInLruOrder) {
+  BlockCache cache(4);
+  cache.Insert(B(1));
+  cache.Insert(B(2));
+  cache.Insert(B(3));
+  std::vector<BlockId> visited;
+  cache.ScanFromLru([&](CacheEntry& entry) {
+    visited.push_back(entry.block);
+    return false;
+  });
+  EXPECT_EQ(visited, (std::vector<BlockId>{B(1), B(2), B(3)}));
+}
+
+TEST(BlockCacheTest, ScanFromLruStopsOnMatch) {
+  BlockCache cache(4);
+  cache.Insert(B(1));
+  cache.Insert(B(2));
+  cache.Insert(B(3));
+  CacheEntry* found = cache.ScanFromLru([](CacheEntry& entry) { return entry.block == B(2); });
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->block, B(2));
+}
+
+TEST(BlockCacheTest, ScanFromLruRespectsLimit) {
+  BlockCache cache(4);
+  cache.Insert(B(1));
+  cache.Insert(B(2));
+  cache.Insert(B(3));
+  int seen = 0;
+  CacheEntry* found = cache.ScanFromLru(
+      [&](CacheEntry&) {
+        ++seen;
+        return false;
+      },
+      2);
+  EXPECT_EQ(found, nullptr);
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(BlockCacheTest, ForEachEntryVisitsAll) {
+  BlockCache cache(4);
+  cache.Insert(B(1));
+  cache.Insert(B(2));
+  int count = 0;
+  cache.ForEachEntry([&count](const CacheEntry&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(BlockCacheTest, ClearEmptiesCache) {
+  BlockCache cache(4);
+  cache.Insert(B(1));
+  cache.Insert(B(2));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lru(), nullptr);
+  cache.Insert(B(3));  // Still usable.
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(BlockCacheTest, EntryMetadataDefaults) {
+  BlockCache cache(1);
+  const CacheEntry& entry = cache.Insert(B(7));
+  EXPECT_EQ(entry.recirculation_count, 0);
+  EXPECT_FALSE(entry.singlet_flag);
+  EXPECT_FALSE(entry.recirculating());
+  EXPECT_EQ(entry.last_ref, 0);
+}
+
+class BlockCacheLruProperty : public ::testing::TestWithParam<std::size_t> {};
+
+// Property: after any sequence of inserts/touches with LRU eviction, the
+// cache holds exactly the `capacity` most recently used distinct blocks.
+TEST_P(BlockCacheLruProperty, MatchesReferenceModel) {
+  const std::size_t capacity = GetParam();
+  BlockCache cache(capacity);
+  std::vector<std::uint32_t> reference;  // front = MRU.
+  unsigned state = 99;
+  auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return state >> 16;
+  };
+  for (int step = 0; step < 3000; ++step) {
+    const std::uint32_t file = next() % 50;
+    // Reference model update.
+    auto it = std::find(reference.begin(), reference.end(), file);
+    if (it != reference.end()) {
+      reference.erase(it);
+    }
+    reference.insert(reference.begin(), file);
+    if (reference.size() > capacity) {
+      reference.pop_back();
+    }
+    // Cache update.
+    if (cache.Touch(B(file)) == nullptr) {
+      while (cache.Full()) {
+        cache.EvictLru();
+      }
+      cache.Insert(B(file));
+    }
+    // Compare.
+    ASSERT_EQ(cache.size(), reference.size());
+    for (std::uint32_t expected : reference) {
+      ASSERT_TRUE(cache.Contains(B(expected)));
+    }
+    ASSERT_EQ(cache.Mru()->block, B(reference.front()));
+    ASSERT_EQ(cache.Lru()->block, B(reference.back()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BlockCacheLruProperty, ::testing::Values(1, 2, 5, 16, 49));
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,180 @@
+#include "src/cache/directory.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace coopfs {
+namespace {
+
+BlockId B(std::uint32_t file, std::uint32_t block = 0) { return BlockId{file, block}; }
+
+TEST(DirectoryTest, StartsEmpty) {
+  Directory dir;
+  EXPECT_EQ(dir.HolderCount(B(1)), 0u);
+  EXPECT_TRUE(dir.Holders(B(1)).empty());
+  EXPECT_EQ(dir.NumTrackedBlocks(), 0u);
+}
+
+TEST(DirectoryTest, AddAndRemoveHolders) {
+  Directory dir;
+  dir.AddHolder(B(1), 5);
+  dir.AddHolder(B(1), 9);
+  EXPECT_EQ(dir.HolderCount(B(1)), 2u);
+  dir.RemoveHolder(B(1), 5);
+  EXPECT_EQ(dir.HolderCount(B(1)), 1u);
+  EXPECT_EQ(dir.Holders(B(1)).front(), 9u);
+  dir.RemoveHolder(B(1), 9);
+  EXPECT_EQ(dir.HolderCount(B(1)), 0u);
+}
+
+TEST(DirectoryTest, AddHolderIsIdempotent) {
+  Directory dir;
+  dir.AddHolder(B(1), 5);
+  dir.AddHolder(B(1), 5);
+  EXPECT_EQ(dir.HolderCount(B(1)), 1u);
+}
+
+TEST(DirectoryTest, RemoveNonHolderIsNoOp) {
+  Directory dir;
+  dir.AddHolder(B(1), 5);
+  dir.RemoveHolder(B(1), 6);
+  dir.RemoveHolder(B(2), 5);
+  EXPECT_EQ(dir.HolderCount(B(1)), 1u);
+}
+
+TEST(DirectoryTest, SingletDetection) {
+  Directory dir;
+  dir.AddHolder(B(1), 5);
+  EXPECT_TRUE(dir.IsSingletHeldBy(B(1), 5));
+  EXPECT_FALSE(dir.IsSingletHeldBy(B(1), 6));
+  EXPECT_FALSE(dir.IsDuplicated(B(1)));
+  dir.AddHolder(B(1), 6);
+  EXPECT_FALSE(dir.IsSingletHeldBy(B(1), 5));
+  EXPECT_TRUE(dir.IsDuplicated(B(1)));
+}
+
+TEST(DirectoryTest, PickHolderExcludesRequester) {
+  Directory dir;
+  Rng rng(1);
+  dir.AddHolder(B(1), 3);
+  EXPECT_EQ(dir.PickHolder(B(1), 3, rng), kNoClient);  // Only holder excluded.
+  dir.AddHolder(B(1), 4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dir.PickHolder(B(1), 3, rng), 4u);
+  }
+}
+
+TEST(DirectoryTest, PickHolderOfUntrackedBlock) {
+  Directory dir;
+  Rng rng(1);
+  EXPECT_EQ(dir.PickHolder(B(9), 0, rng), kNoClient);
+}
+
+TEST(DirectoryTest, PickHolderCoversAllEligible) {
+  Directory dir;
+  Rng rng(2);
+  for (ClientId c = 0; c < 5; ++c) {
+    dir.AddHolder(B(1), c);
+  }
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 500; ++i) {
+    const ClientId picked = dir.PickHolder(B(1), 2, rng);
+    ASSERT_LT(picked, 5u);
+    ASSERT_NE(picked, 2u);
+    ++seen[picked];
+  }
+  for (ClientId c = 0; c < 5; ++c) {
+    if (c == 2) {
+      EXPECT_EQ(seen[c], 0);
+    } else {
+      EXPECT_GT(seen[c], 50);  // Roughly uniform over 4 eligible holders.
+    }
+  }
+}
+
+TEST(DirectoryTest, BlocksOfFileTracksLiveBlocks) {
+  Directory dir;
+  dir.AddHolder(B(7, 0), 1);
+  dir.AddHolder(B(7, 1), 2);
+  dir.AddHolder(B(8, 0), 1);
+  std::vector<BlockId> blocks = dir.BlocksOfFile(7);
+  std::sort(blocks.begin(), blocks.end());
+  EXPECT_EQ(blocks, (std::vector<BlockId>{B(7, 0), B(7, 1)}));
+
+  dir.RemoveHolder(B(7, 1), 2);
+  blocks = dir.BlocksOfFile(7);
+  EXPECT_EQ(blocks, (std::vector<BlockId>{B(7, 0)}));
+}
+
+TEST(DirectoryTest, ReAddingAfterEmptyDoesNotDuplicateFileIndex) {
+  Directory dir;
+  dir.AddHolder(B(7, 0), 1);
+  dir.RemoveHolder(B(7, 0), 1);
+  dir.AddHolder(B(7, 0), 2);
+  EXPECT_EQ(dir.BlocksOfFile(7).size(), 1u);
+}
+
+TEST(DirectoryTest, EraseBlockDropsAllState) {
+  Directory dir;
+  dir.AddHolder(B(7, 0), 1);
+  dir.AddHolder(B(7, 0), 2);
+  dir.EraseBlock(B(7, 0));
+  EXPECT_EQ(dir.HolderCount(B(7, 0)), 0u);
+  EXPECT_TRUE(dir.BlocksOfFile(7).empty());
+  dir.EraseBlock(B(7, 0));  // Idempotent.
+}
+
+TEST(DirectoryTest, ForEachBlockSkipsEmptyHolderSets) {
+  Directory dir;
+  dir.AddHolder(B(1), 1);
+  dir.AddHolder(B(2), 2);
+  dir.RemoveHolder(B(2), 2);
+  int visited = 0;
+  dir.ForEachBlock([&](BlockId block, const std::vector<ClientId>& holders) {
+    EXPECT_EQ(block, B(1));
+    EXPECT_EQ(holders.size(), 1u);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+class DirectoryProperty : public ::testing::TestWithParam<unsigned> {};
+
+// Property: holder counts always equal the reference multimap's.
+TEST_P(DirectoryProperty, MatchesReferenceModel) {
+  Directory dir;
+  std::map<std::uint64_t, std::set<ClientId>> reference;
+  unsigned state = GetParam();
+  auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return state >> 16;
+  };
+  for (int step = 0; step < 4000; ++step) {
+    const BlockId block{next() % 20, next() % 4};
+    const ClientId client = next() % 8;
+    switch (next() % 3) {
+      case 0:
+        dir.AddHolder(block, client);
+        reference[block.Pack()].insert(client);
+        break;
+      case 1:
+        dir.RemoveHolder(block, client);
+        reference[block.Pack()].erase(client);
+        break;
+      case 2:
+        dir.EraseBlock(block);
+        reference[block.Pack()].clear();
+        break;
+    }
+    ASSERT_EQ(dir.HolderCount(block), reference[block.Pack()].size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectoryProperty, ::testing::Values(1u, 17u, 333u, 9999u));
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,134 @@
+#include "src/cache/lru_map.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace coopfs {
+namespace {
+
+TEST(LruMapTest, InsertFindTouch) {
+  LruMap<int, std::string> map(2);
+  EXPECT_FALSE(map.Insert(1, "one").has_value());
+  EXPECT_TRUE(map.Contains(1));
+  ASSERT_NE(map.Find(1), nullptr);
+  EXPECT_EQ(*map.Find(1), "one");
+  EXPECT_EQ(map.Find(2), nullptr);
+  EXPECT_EQ(map.Touch(2), nullptr);
+}
+
+TEST(LruMapTest, EvictsLruOnOverflow) {
+  LruMap<int, int> map(2);
+  map.Insert(1, 10);
+  map.Insert(2, 20);
+  const auto evicted = map.Insert(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 1);
+  EXPECT_EQ(evicted->second, 10);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_FALSE(map.Contains(1));
+}
+
+TEST(LruMapTest, TouchRenewsAgainstEviction) {
+  LruMap<int, int> map(2);
+  map.Insert(1, 10);
+  map.Insert(2, 20);
+  EXPECT_NE(map.Touch(1), nullptr);
+  const auto evicted = map.Insert(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 2);  // 1 was renewed; 2 became LRU.
+}
+
+TEST(LruMapTest, InsertExistingReplacesAndRenews) {
+  LruMap<int, int> map(2);
+  map.Insert(1, 10);
+  map.Insert(2, 20);
+  EXPECT_FALSE(map.Insert(1, 11).has_value());
+  EXPECT_EQ(*map.Find(1), 11);
+  const auto evicted = map.Insert(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 2);
+}
+
+TEST(LruMapTest, EraseRemoves) {
+  LruMap<int, int> map(2);
+  map.Insert(1, 10);
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_FALSE(map.Erase(1));
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(LruMapTest, LruEntryPeeksOldest) {
+  LruMap<int, int> map(3);
+  EXPECT_FALSE(map.LruEntry().has_value());
+  map.Insert(1, 10);
+  map.Insert(2, 20);
+  ASSERT_TRUE(map.LruEntry().has_value());
+  EXPECT_EQ(map.LruEntry()->first, 1);
+}
+
+TEST(LruMapTest, ZeroCapacity) {
+  LruMap<int, int> map(0);
+  EXPECT_FALSE(map.CanInsert());
+  EXPECT_TRUE(map.Full());
+}
+
+TEST(LruMapTest, EraseIfRemovesMatchesOnly) {
+  LruMap<int, int> map(8);
+  for (int k = 0; k < 8; ++k) {
+    map.Insert(k, k % 2);  // Even keys -> value 0, odd -> 1.
+  }
+  const std::size_t removed = map.EraseIf([](int, int value) { return value == 1; });
+  EXPECT_EQ(removed, 4u);
+  EXPECT_EQ(map.size(), 4u);
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(map.Contains(k), k % 2 == 0) << k;
+  }
+  // Survivors keep working LRU links.
+  map.Insert(100, 0);
+  EXPECT_TRUE(map.Contains(100));
+}
+
+TEST(LruMapTest, EraseIfNothingMatches) {
+  LruMap<int, int> map(4);
+  map.Insert(1, 1);
+  EXPECT_EQ(map.EraseIf([](int, int) { return false; }), 0u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(LruMapTest, ClearResets) {
+  LruMap<int, int> map(2);
+  map.Insert(1, 10);
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  map.Insert(2, 20);
+  EXPECT_TRUE(map.Contains(2));
+}
+
+class LruMapProperty : public ::testing::TestWithParam<std::size_t> {};
+
+// Property: LruMap holds exactly the `capacity` most recently inserted or
+// touched keys.
+TEST_P(LruMapProperty, NeverExceedsCapacityAndKeepsRecency) {
+  const std::size_t capacity = GetParam();
+  LruMap<unsigned, unsigned> map(capacity);
+  unsigned state = 77;
+  auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return state >> 16;
+  };
+  for (int step = 0; step < 2000; ++step) {
+    const unsigned key = next() % 30;
+    if (next() % 2 == 0) {
+      map.Insert(key, key);
+    } else {
+      map.Touch(key);
+    }
+    ASSERT_LE(map.size(), capacity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, LruMapProperty, ::testing::Values(1, 3, 10, 29, 64));
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,80 @@
+#include "src/common/format.h"
+
+#include <gtest/gtest.h>
+
+namespace coopfs {
+namespace {
+
+TEST(FormatTest, FormatMicrosRanges) {
+  EXPECT_EQ(FormatMicros(250.0), "250 us");
+  EXPECT_EQ(FormatMicros(1250.0), "1250 us");
+  EXPECT_EQ(FormatMicros(15'850.0), "15.8 ms");  // 15.85 rounds down in binary fp.
+  EXPECT_EQ(FormatMicros(21'700.0), "21.7 ms");
+  EXPECT_EQ(FormatMicros(2'500'000.0), "2.50 s");
+}
+
+TEST(FormatTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(8 * 1024), "8 KB");
+  EXPECT_EQ(FormatBytes(16ull * 1024 * 1024), "16 MB");
+  EXPECT_EQ(FormatBytes(2ull * 1024 * 1024 * 1024), "2 GB");
+  EXPECT_EQ(FormatBytes(1536ull * 1024), "1.5 MB");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.157), "15.7%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(FormatPercent(0.0), "0.0%");
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.734, 2), "1.73");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(TableFormatterTest, AlignsColumns) {
+  TableFormatter table({"Name", "Value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string out = table.ToString();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Every line has the same length (fixed column widths).
+  std::size_t expected_len = out.find('\n');
+  std::size_t pos = 0;
+  int lines = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    EXPECT_EQ(nl - pos, expected_len) << "line " << lines;
+    pos = nl + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(TableFormatterTest, ShortRowsArePadded) {
+  TableFormatter table({"A", "B", "C"});
+  table.AddRow({"only-one"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(TableFormatterTest, RuleInsertsSeparator) {
+  TableFormatter table({"Name"});
+  table.AddRow({"x"});
+  table.AddRule();
+  table.AddRow({"y"});
+  const std::string out = table.ToString();
+  // Two rules total: one under the header, one inserted.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("--", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 2u);
+}
+
+}  // namespace
+}  // namespace coopfs

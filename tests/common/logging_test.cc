@@ -1,0 +1,57 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace coopfs {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kWarning); }
+};
+
+TEST_F(LoggingTest, DefaultThresholdIsWarning) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, SetAndGetThreshold) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kNone);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kNone);
+}
+
+TEST_F(LoggingTest, SuppressedMessageDoesNotEvaluate) {
+  SetLogLevel(LogLevel::kNone);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  COOPFS_LOG(kDebug) << "value: " << expensive();
+  EXPECT_EQ(evaluations, 0) << "stream arguments must not run below threshold";
+}
+
+TEST_F(LoggingTest, EnabledMessageEvaluates) {
+  SetLogLevel(LogLevel::kDebug);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  COOPFS_LOG(kError) << "value: " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, MacroIsStatementSafe) {
+  SetLogLevel(LogLevel::kNone);
+  // Must compile and behave as one statement in unbraced control flow.
+  if (GetLogLevel() == LogLevel::kNone)
+    COOPFS_LOG(kInfo) << "then-branch";
+  else
+    COOPFS_LOG(kError) << "else-branch";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,153 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace coopfs {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 0.0);
+}
+
+TEST(RunningStatTest, KnownValues) {
+  RunningStat stat;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stat.Add(v);
+  }
+  EXPECT_EQ(stat.count(), 8u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+  // Population m2 = 32, sample variance = 32/7.
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(RunningStatTest, SingleValueHasZeroVariance) {
+  RunningStat stat;
+  stat.Add(3.5);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.5);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat all;
+  RunningStat left;
+  RunningStat right;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i * 0.37 - 5.0;
+    all.Add(v);
+    (i < 40 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmptySides) {
+  RunningStat stat;
+  stat.Add(1.0);
+  RunningStat empty;
+  stat.Merge(empty);
+  EXPECT_EQ(stat.count(), 1u);
+  empty.Merge(stat);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(RunningStatTest, ResetClears) {
+  RunningStat stat;
+  stat.Add(10.0);
+  stat.Reset();
+  EXPECT_EQ(stat.count(), 0u);
+}
+
+TEST(LogHistogramTest, BucketBoundaries) {
+  EXPECT_DOUBLE_EQ(LogHistogram::BucketLowerBound(0), 0.0);
+  EXPECT_DOUBLE_EQ(LogHistogram::BucketLowerBound(1), 1.0);
+  EXPECT_DOUBLE_EQ(LogHistogram::BucketLowerBound(2), 2.0);
+  EXPECT_DOUBLE_EQ(LogHistogram::BucketLowerBound(5), 16.0);
+}
+
+TEST(LogHistogramTest, CountsAndQuantiles) {
+  LogHistogram hist;
+  for (int i = 0; i < 100; ++i) {
+    hist.Add(10.0);  // Bucket [8,16).
+  }
+  EXPECT_EQ(hist.count(), 100u);
+  const double median = hist.Quantile(0.5);
+  EXPECT_GE(median, 8.0);
+  EXPECT_LE(median, 16.0);
+}
+
+TEST(LogHistogramTest, QuantileOrdering) {
+  LogHistogram hist;
+  for (int i = 1; i <= 1000; ++i) {
+    hist.Add(static_cast<double>(i));
+  }
+  EXPECT_LE(hist.Quantile(0.1), hist.Quantile(0.5));
+  EXPECT_LE(hist.Quantile(0.5), hist.Quantile(0.9));
+  EXPECT_LE(hist.Quantile(0.9), hist.Quantile(0.999));
+}
+
+TEST(LogHistogramTest, EmptyQuantileIsZero) {
+  LogHistogram hist;
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 0.0);
+  EXPECT_EQ(hist.ToString(), "(empty histogram)\n");
+}
+
+TEST(LogHistogramTest, MergeAddsCounts) {
+  LogHistogram a;
+  LogHistogram b;
+  a.Add(3.0);
+  b.Add(3.0);
+  b.Add(100.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(LogHistogramTest, HugeValuesLandInLastBucket) {
+  LogHistogram hist;
+  hist.Add(1e30);
+  EXPECT_EQ(hist.bucket_count(LogHistogram::kNumBuckets - 1), 1u);
+}
+
+TEST(CounterArrayTest, AddGetTotalFraction) {
+  CounterArray<4> counters;
+  counters.Add(0, 10);
+  counters.Add(3, 30);
+  EXPECT_EQ(counters.Get(0), 10u);
+  EXPECT_EQ(counters.Get(1), 0u);
+  EXPECT_EQ(counters.Total(), 40u);
+  EXPECT_DOUBLE_EQ(counters.Fraction(3), 0.75);
+}
+
+TEST(CounterArrayTest, EmptyFractionIsZero) {
+  CounterArray<2> counters;
+  EXPECT_DOUBLE_EQ(counters.Fraction(0), 0.0);
+}
+
+TEST(CounterArrayTest, MergeAndReset) {
+  CounterArray<2> a;
+  CounterArray<2> b;
+  a.Add(0, 1);
+  b.Add(0, 2);
+  b.Add(1, 5);
+  a.Merge(b);
+  EXPECT_EQ(a.Get(0), 3u);
+  EXPECT_EQ(a.Get(1), 5u);
+  a.Reset();
+  EXPECT_EQ(a.Total(), 0u);
+}
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,78 @@
+#include "src/common/types.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace coopfs {
+namespace {
+
+TEST(BlockIdTest, PackUnpackRoundTrip) {
+  const BlockId id{12345, 678};
+  EXPECT_EQ(BlockId::Unpack(id.Pack()), id);
+}
+
+TEST(BlockIdTest, PackIsInjectiveOnFileAndBlock) {
+  EXPECT_NE((BlockId{1, 2}.Pack()), (BlockId{2, 1}.Pack()));
+  EXPECT_NE((BlockId{0, 1}.Pack()), (BlockId{1, 0}.Pack()));
+}
+
+TEST(BlockIdTest, ExtremeValuesRoundTrip) {
+  const BlockId max_id{0xffffffffu, 0xffffffffu};
+  EXPECT_EQ(BlockId::Unpack(max_id.Pack()), max_id);
+  const BlockId zero{0, 0};
+  EXPECT_EQ(BlockId::Unpack(zero.Pack()), zero);
+}
+
+TEST(BlockIdTest, OrderingIsFileMajor) {
+  EXPECT_LT((BlockId{1, 99}), (BlockId{2, 0}));
+  EXPECT_LT((BlockId{1, 1}), (BlockId{1, 2}));
+}
+
+TEST(BlockIdTest, ToStringIsReadable) {
+  EXPECT_EQ((BlockId{3, 7}.ToString()), "f3:b7");
+}
+
+class BlockIdPackProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BlockIdPackProperty, RoundTripsAcrossBlockRange) {
+  const std::uint32_t file = GetParam();
+  for (std::uint32_t block : {0u, 1u, 255u, 65536u, 0xffffffffu}) {
+    const BlockId id{file, block};
+    EXPECT_EQ(BlockId::Unpack(id.Pack()), id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FileSweep, BlockIdPackProperty,
+                         ::testing::Values(0u, 1u, 42u, 4096u, 0x7fffffffu, 0xffffffffu));
+
+TEST(BlockIdHashTest, DistinctIdsRarelyCollide) {
+  std::unordered_set<std::size_t> hashes;
+  std::hash<BlockId> hasher;
+  const int kFiles = 100;
+  const int kBlocks = 100;
+  for (std::uint32_t f = 0; f < kFiles; ++f) {
+    for (std::uint32_t b = 0; b < kBlocks; ++b) {
+      hashes.insert(hasher(BlockId{f, b}));
+    }
+  }
+  // SplitMix64 finalization should give no collisions on 10k sequential ids.
+  EXPECT_EQ(hashes.size(), static_cast<std::size_t>(kFiles * kBlocks));
+}
+
+TEST(TypesTest, BytesToBlocks) {
+  EXPECT_EQ(BytesToBlocks(MiB(16)), 2048u);
+  EXPECT_EQ(BytesToBlocks(MiB(128)), 16384u);
+  EXPECT_EQ(BytesToBlocks(kBlockSizeBytes - 1), 0u);
+  EXPECT_EQ(BytesToBlocks(kBlockSizeBytes), 1u);
+}
+
+TEST(TypesTest, CacheLevelNames) {
+  EXPECT_STREQ(CacheLevelName(CacheLevel::kLocalMemory), "Local Memory");
+  EXPECT_STREQ(CacheLevelName(CacheLevel::kRemoteClient), "Remote Client");
+  EXPECT_STREQ(CacheLevelName(CacheLevel::kServerMemory), "Server Memory");
+  EXPECT_STREQ(CacheLevelName(CacheLevel::kServerDisk), "Server Disk");
+}
+
+}  // namespace
+}  // namespace coopfs

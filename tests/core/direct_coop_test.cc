@@ -1,0 +1,130 @@
+#include "src/core/direct_coop.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/baseline.h"
+#include "src/sim/simulator.h"
+#include "src/sim/validation.h"
+#include "src/trace/workload.h"
+#include "tests/testing/scripted.h"
+
+namespace coopfs {
+namespace {
+
+std::uint64_t Level(const SimulationResult& result, CacheLevel level) {
+  return result.level_counts.Get(static_cast<std::size_t>(level));
+}
+
+TEST(DirectCoopTest, EvictionsSpillIntoPrivateRemoteCache) {
+  // Capacity 1 local + 1 private remote. f1 spills on the second read and
+  // is recovered from the remote cache (2 hops = 1050 us) on the third.
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0).Read(0, 1, 0);
+  // Server cache capacity 1 so the spilled f1 is not in server memory when
+  // re-read (f2 displaced it).
+  Simulator simulator(TinyConfig(1, 1, 2), &builder.Build());
+  DirectCoopPolicy policy(/*remote_cache_blocks=*/1);
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Level(*result, CacheLevel::kRemoteClient), 1u);
+  EXPECT_NEAR(result->level_time_us[static_cast<std::size_t>(CacheLevel::kRemoteClient)],
+              1050.0, 1e-9);
+  // Private remote hits never touch the server.
+  EXPECT_EQ(result->server_load.Units(ServerLoadKind::kHitRemoteClient), 0u);
+}
+
+TEST(DirectCoopTest, RemoteHitMigratesBlockBackToLocal) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0).Read(0, 1, 0).Read(0, 1, 0);
+  Simulator simulator(TinyConfig(1, 1, 2), &builder.Build());
+  DirectCoopPolicy policy(1);
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  // Fourth read: f1 migrated back into the local cache on the third.
+  EXPECT_EQ(Level(*result, CacheLevel::kLocalMemory), 1u);
+}
+
+TEST(DirectCoopTest, OtherClientsCannotUseThePrivateCache) {
+  // Client 0 spills f1 into its private remote cache; the server cache has
+  // moved on. Client 1's read of f1 must go to disk — Direct Client
+  // Cooperation gives no access to other clients' remote caches (§2.1).
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0).Read(1, 1, 0);
+  Simulator simulator(TinyConfig(1, 1, 2), &builder.Build());
+  DirectCoopPolicy policy(1);
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Level(*result, CacheLevel::kRemoteClient), 0u);
+  EXPECT_EQ(Level(*result, CacheLevel::kServerDisk), 3u);
+}
+
+TEST(DirectCoopTest, WriteInvalidatesSpilledCopies) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0)
+      .Read(0, 2, 0)    // f1 spilled to client 0's private remote cache.
+      .Write(1, 1, 0)   // Stale spilled copy must die.
+      .Read(0, 3, 0)    // Push f2 out of the server cache... (server cap 1:
+                        // the write already replaced it). Keep pressure on.
+      .Read(0, 1, 0);   // Must not be served by the stale remote copy.
+  Simulator simulator(TinyConfig(1, 1, 2), &builder.Build());
+  DirectCoopPolicy policy(4);
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  // The final read: server cache holds f3 (last fetch), so f1 comes from
+  // disk — never from the invalidated remote copy.
+  EXPECT_EQ(Level(*result, CacheLevel::kRemoteClient), 0u);
+}
+
+TEST(DirectCoopTest, DeletePurgesSpilledCopies) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0).Delete(1, 1).Read(0, 1, 0);
+  Simulator simulator(TinyConfig(1, 1, 2), &builder.Build());
+  DirectCoopPolicy policy(4);
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Level(*result, CacheLevel::kRemoteClient), 0u);
+  EXPECT_EQ(Level(*result, CacheLevel::kServerDisk), 3u);
+}
+
+TEST(DirectCoopTest, DefaultRemoteCacheEqualsLocalSize) {
+  // With remote_cache_blocks = 0 the private cache matches the local cache,
+  // "effectively doubling" it (paper §4.1): a working set of twice the
+  // local capacity stays fully in (local + remote) memory.
+  TraceBuilder builder;
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint32_t f = 1; f <= 4; ++f) {
+      builder.Read(0, f, 0);
+    }
+  }
+  Simulator simulator(TinyConfig(2, 1, 2), &builder.Build());
+  DirectCoopPolicy policy;  // Default: remote = local = 2 blocks.
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  // Rounds 2-3 (8 reads) are all local or private-remote hits.
+  EXPECT_EQ(Level(*result, CacheLevel::kServerDisk), 4u);
+  EXPECT_EQ(Level(*result, CacheLevel::kRemoteClient), 8u);
+}
+
+class DirectDominanceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: Direct Cooperation's local hit counts match the baseline's (the
+// local cache is managed identically; the remote cache only catches what
+// would otherwise leave).
+TEST_P(DirectDominanceProperty, LocalBehaviourMatchesBaseline) {
+  WorkloadConfig workload = SmallTestWorkloadConfig(GetParam());
+  workload.num_events = 5000;
+  const Trace trace = GenerateWorkload(workload);
+  Simulator simulator(TinyConfig(16, 32), &trace);
+  BaselinePolicy baseline;
+  DirectCoopPolicy direct(16);
+  const auto base_result = simulator.Run(baseline);
+  const auto direct_result = simulator.Run(direct);
+  ASSERT_TRUE(base_result.ok());
+  ASSERT_TRUE(direct_result.ok());
+  EXPECT_EQ(base_result->level_counts.Get(0), direct_result->level_counts.Get(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectDominanceProperty, ::testing::Values(4ull, 44ull, 444ull));
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,130 @@
+#include "src/core/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/baseline.h"
+#include "src/sim/simulator.h"
+#include "src/sim/validation.h"
+#include "src/trace/workload.h"
+#include "tests/testing/scripted.h"
+
+namespace coopfs {
+namespace {
+
+std::uint64_t Level(const SimulationResult& result, CacheLevel level) {
+  return result.level_counts.Get(static_cast<std::size_t>(level));
+}
+
+TEST(GreedyTest, ForwardsToCachingClientWhenServerMisses) {
+  // Server cache capacity 1: client 0's fetch of f2 evicts f1 from the
+  // server, so client 1's read of f1 can only be satisfied by client 0.
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0).Read(1, 1, 0);
+  Simulator simulator(TinyConfig(4, 1), &builder.Build());
+  GreedyPolicy policy;
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    // Both clients now hold f1:b0.
+    EXPECT_TRUE(context.client_cache(0).Contains(BlockId{1, 0}));
+    EXPECT_TRUE(context.client_cache(1).Contains(BlockId{1, 0}));
+    EXPECT_EQ(context.directory().HolderCount(BlockId{1, 0}), 2u);
+    EXPECT_TRUE(CheckCacheDirectoryConsistency(context).ok());
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Level(*result, CacheLevel::kRemoteClient), 1u);
+  EXPECT_EQ(Level(*result, CacheLevel::kServerDisk), 2u);
+  // Forwarded hit: 3 hops = 1250 us on ATM.
+  EXPECT_NEAR(result->level_time_us[static_cast<std::size_t>(CacheLevel::kRemoteClient)],
+              1250.0, 1e-9);
+  // Server load for the forward: receive + forward = 2 units.
+  EXPECT_EQ(result->server_load.Units(ServerLoadKind::kHitRemoteClient), 2u);
+}
+
+TEST(GreedyTest, PrefersServerMemoryOverForwarding) {
+  // f1 still in the big server cache: client 1 reads from server memory
+  // even though client 0 caches it (paper: server checked first).
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(1, 1, 0);
+  Simulator simulator(TinyConfig(4, 8), &builder.Build());
+  GreedyPolicy policy;
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Level(*result, CacheLevel::kServerMemory), 1u);
+  EXPECT_EQ(Level(*result, CacheLevel::kRemoteClient), 0u);
+}
+
+TEST(GreedyTest, EvictionUpdatesDirectory) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0).Read(0, 3, 0);  // Capacity 2.
+  Simulator simulator(TinyConfig(2, 8), &builder.Build());
+  GreedyPolicy policy;
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_EQ(context.directory().HolderCount(BlockId{1, 0}), 0u);
+    EXPECT_TRUE(CheckCacheDirectoryConsistency(context).ok());
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(GreedyTest, NoForwardingFromSelf) {
+  // A client never forwards to itself: with one client and a cold server,
+  // every miss goes to disk.
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0).Read(0, 3, 0).Read(0, 1, 0);
+  Simulator simulator(TinyConfig(2, 1), &builder.Build());
+  GreedyPolicy policy;
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Level(*result, CacheLevel::kRemoteClient), 0u);
+}
+
+class GreedyEquivalenceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: with a single client, Greedy degenerates to the baseline
+// (no peer can serve forwarded requests).
+TEST_P(GreedyEquivalenceProperty, SingleClientGreedyEqualsBaseline) {
+  WorkloadConfig config = SmallTestWorkloadConfig(GetParam());
+  config.num_clients = 1;
+  config.num_events = 4000;
+  const Trace trace = GenerateWorkload(config);
+  Simulator simulator(TinyConfig(32, 64), &trace);
+  BaselinePolicy baseline;
+  GreedyPolicy greedy;
+  const auto base_result = simulator.Run(baseline);
+  const auto greedy_result = simulator.Run(greedy);
+  ASSERT_TRUE(base_result.ok());
+  ASSERT_TRUE(greedy_result.ok());
+  for (std::size_t level = 0; level < kNumCacheLevels; ++level) {
+    EXPECT_EQ(base_result->level_counts.Get(level), greedy_result->level_counts.Get(level))
+        << "level " << level;
+  }
+  EXPECT_EQ(base_result->server_load.TotalUnits(), greedy_result->server_load.TotalUnits());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyEquivalenceProperty, ::testing::Values(1ull, 7ull, 99ull));
+
+class GreedyDominanceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property (paper §4.2.2): Greedy converts disk accesses into remote hits.
+// (Not exactly monotone in theory — forwarded hits bypass the server cache,
+// so its contents drift from the baseline's — but on cache-pressured
+// workloads greedy must not be meaningfully worse.)
+TEST_P(GreedyDominanceProperty, GreedyNeverIncreasesDiskRate) {
+  WorkloadConfig config = SmallTestWorkloadConfig(GetParam());
+  config.num_events = 6000;
+  const Trace trace = GenerateWorkload(config);
+  Simulator simulator(TinyConfig(16, 32), &trace);
+  BaselinePolicy baseline;
+  GreedyPolicy greedy;
+  const auto base_result = simulator.Run(baseline);
+  const auto greedy_result = simulator.Run(greedy);
+  ASSERT_TRUE(base_result.ok());
+  ASSERT_TRUE(greedy_result.ok());
+  EXPECT_LE(greedy_result->DiskRate(), base_result->DiskRate() + 0.02);
+  // Local behaviour is untouched by greedy forwarding.
+  EXPECT_EQ(greedy_result->level_counts.Get(0), base_result->level_counts.Get(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyDominanceProperty,
+                         ::testing::Values(3ull, 21ull, 555ull, 2024ull));
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,125 @@
+#include "src/core/hash_distributed.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/central_coord.h"
+#include "src/sim/simulator.h"
+#include "src/sim/validation.h"
+#include "src/trace/workload.h"
+#include "tests/testing/scripted.h"
+
+namespace coopfs {
+namespace {
+
+std::uint64_t Level(const SimulationResult& result, CacheLevel level) {
+  return result.level_counts.Get(static_cast<std::size_t>(level));
+}
+
+TEST(HashDistributedTest, SplitsClientCacheLikeCentral) {
+  HashDistributedPolicy policy(0.8);
+  SimulationConfig config = TinyConfig(10, 4);
+  EXPECT_EQ(policy.ClientCacheBlocks(config), 2u);
+  EXPECT_EQ(policy.Name(), "Hash Distributed (80%)");
+}
+
+TEST(HashDistributedTest, ServerEvictionLandsInHashPartition) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0);  // Server cap 1: f1 drops to its partition.
+  Simulator simulator(TinyConfig(10, 1, 3), &builder.Build());
+  HashDistributedPolicy policy(0.8);
+  const auto result = simulator.Run(policy, [&policy](SimContext&) {
+    EXPECT_TRUE(policy.PartitionContains(BlockId{1, 0}));
+    EXPECT_FALSE(policy.PartitionContains(BlockId{2, 0}));  // Still at server.
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(HashDistributedTest, PartitionHitBypassesServer) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0)
+      .Read(0, 2, 0)    // f1 now in its hash partition; server = {f2}.
+      .Read(1, 1, 0);   // Served by the partition, no server involvement.
+  Simulator simulator(TinyConfig(10, 1, 3), &builder.Build());
+  HashDistributedPolicy policy(0.8);
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  // The partition hit is either a remote-client hit (target != requester)
+  // or a free local hit (target == requester); never disk.
+  EXPECT_EQ(Level(*result, CacheLevel::kServerDisk), 2u);
+  // Either way the server did no forwarding work for it.
+  EXPECT_EQ(result->server_load.Units(ServerLoadKind::kHitRemoteClient), 0u);
+}
+
+TEST(HashDistributedTest, SelfTargetHitCostsNothing) {
+  // Force the self-target case: with one client every block hashes to it.
+  TraceBuilder builder;
+  builder.Read(0, 1, 0)
+      .Read(0, 2, 0)    // f1 drops into client 0's own partition.
+      .Read(0, 1, 0);   // Self-partition hit: local-level, zero hops.
+  Simulator simulator(TinyConfig(10, 1, 1), &builder.Build());
+  HashDistributedPolicy policy(0.8);
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Level(*result, CacheLevel::kLocalMemory), 1u);
+  EXPECT_NEAR(result->level_time_us[static_cast<std::size_t>(CacheLevel::kLocalMemory)], 250.0,
+              1e-9);
+}
+
+TEST(HashDistributedTest, PartitionMissForwardsToServerWithExtraHop) {
+  // Two clients; pick a block whose hash target is the *other* client so
+  // the miss path is requester -> hash client -> server -> requester.
+  HashDistributedPolicy probe(0.8);
+  // Find a file id whose block hashes to client 1 out of 2.
+  FileId file = 1;
+  while (std::hash<BlockId>{}(BlockId{file, 0}) % 2 != 1) {
+    ++file;
+  }
+  TraceBuilder builder;
+  builder.Read(0, file, 0);  // Cold miss: partition miss -> server -> disk.
+  Simulator simulator(TinyConfig(10, 4, 2), &builder.Build());
+  const auto result = simulator.Run(probe);
+  ASSERT_TRUE(result.ok());
+  // Disk with one extra hop: 250 + 400 + 3*200 + 14800 = 16050.
+  EXPECT_NEAR(result->level_time_us[static_cast<std::size_t>(CacheLevel::kServerDisk)], 16'050.0,
+              1e-9);
+}
+
+TEST(HashDistributedTest, WriteInvalidatesPartitionCopy) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0).Write(1, 1, 0);
+  Simulator simulator(TinyConfig(10, 1, 3), &builder.Build());
+  HashDistributedPolicy policy(0.8);
+  const auto result = simulator.Run(policy, [&policy](SimContext&) {
+    EXPECT_FALSE(policy.PartitionContains(BlockId{1, 0}));
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+class HashVsCentralProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property (paper §2.5): Hash-Distributed hit rates are close to Centrally
+// Coordinated ones while its server load is lower.
+TEST_P(HashVsCentralProperty, SimilarHitsLowerLoad) {
+  WorkloadConfig workload = SmallTestWorkloadConfig(GetParam());
+  workload.num_events = 12'000;
+  const Trace trace = GenerateWorkload(workload);
+  SimulationConfig config = TinyConfig(32, 16);
+  config.warmup_events = 4000;
+  Simulator simulator(config, &trace);
+  CentralCoordPolicy central(0.8);
+  HashDistributedPolicy hash(0.8);
+  const auto central_result = simulator.Run(central);
+  const auto hash_result = simulator.Run(hash);
+  ASSERT_TRUE(central_result.ok());
+  ASSERT_TRUE(hash_result.ok());
+  // "Nearly identical hit rates": disk rates within 3 percentage points.
+  EXPECT_NEAR(hash_result->DiskRate(), central_result->DiskRate(), 0.03);
+  // "Significantly reduces server load".
+  EXPECT_LT(static_cast<double>(hash_result->server_load.TotalUnits()),
+            static_cast<double>(central_result->server_load.TotalUnits()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HashVsCentralProperty, ::testing::Values(6ull, 66ull, 666ull));
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,85 @@
+#include "src/core/nchance_idle.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/policy_factory.h"
+#include "src/sim/simulator.h"
+#include "src/sim/validation.h"
+#include "src/trace/workload.h"
+#include "tests/testing/scripted.h"
+
+namespace coopfs {
+namespace {
+
+TEST(NChanceIdleTest, NameAndFactory) {
+  EXPECT_EQ(NChanceIdleAwarePolicy(2).Name(), "N-Chance idle-aware (n=2)");
+  EXPECT_EQ(MakePolicy(PolicyKind::kNChanceIdle)->Name(), "N-Chance idle-aware (n=2)");
+  EXPECT_EQ(*ParsePolicyKind("nchance-idle"), PolicyKind::kNChanceIdle);
+}
+
+TEST(NChanceIdleTest, ForwardsToLeastRecentlyActiveClient) {
+  // Clients 1 and 2 both exist; client 2 was active recently, client 1 has
+  // been idle longer. Client 0's evicted singlet must land on client 1.
+  TraceBuilder builder;
+  builder.Read(1, 8, 0)   // Client 1 active (early).
+      .Read(2, 9, 0)      // Client 2 active (later).
+      .Read(0, 1, 0)
+      .Read(0, 2, 0);     // Client 0 (cap 1) evicts singlet f1.
+  Simulator simulator(TinyConfig(1, 8, 3), &builder.Build());
+  NChanceIdleAwarePolicy policy(2);
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_TRUE(context.client_cache(1).Contains(BlockId{1, 0}))
+        << "the singlet must go to the most idle peer (client 1)";
+    EXPECT_FALSE(context.client_cache(2).Contains(BlockId{1, 0}));
+    EXPECT_TRUE(CheckCacheDirectoryConsistency(context).ok());
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(NChanceIdleTest, TargetingIsDeterministic) {
+  // Unlike random forwarding, idle targeting gives identical placements for
+  // any simulation seed.
+  WorkloadConfig workload = SmallTestWorkloadConfig(3);
+  workload.num_events = 5000;
+  const Trace trace = GenerateWorkload(workload);
+  SimulationConfig config_a = TinyConfig(8, 16);
+  SimulationConfig config_b = config_a;
+  config_a.seed = 1;
+  config_b.seed = 999;
+  Simulator sim_a(config_a, &trace);
+  Simulator sim_b(config_b, &trace);
+  NChanceIdleAwarePolicy a(2);
+  NChanceIdleAwarePolicy b(2);
+  const auto result_a = sim_a.Run(a);
+  const auto result_b = sim_b.Run(b);
+  ASSERT_TRUE(result_a.ok());
+  ASSERT_TRUE(result_b.ok());
+  for (std::size_t level = 0; level < kNumCacheLevels; ++level) {
+    EXPECT_EQ(result_a->level_counts.Get(level), result_b->level_counts.Get(level));
+  }
+}
+
+class IdleVsRandomProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The enhancement's purpose (§2.4): do not disturb active clients. Global
+// response must stay comparable to random forwarding.
+TEST_P(IdleVsRandomProperty, ComparableResponseTime) {
+  WorkloadConfig workload = SmallTestWorkloadConfig(GetParam());
+  workload.num_events = 12'000;
+  const Trace trace = GenerateWorkload(workload);
+  SimulationConfig config = TinyConfig(32, 32);
+  config.warmup_events = 4000;
+  Simulator simulator(config, &trace);
+  NChancePolicy random_forwarding(2);
+  NChanceIdleAwarePolicy idle_forwarding(2);
+  const auto random_result = simulator.Run(random_forwarding);
+  const auto idle_result = simulator.Run(idle_forwarding);
+  ASSERT_TRUE(random_result.ok());
+  ASSERT_TRUE(idle_result.ok());
+  EXPECT_NEAR(idle_result->AverageReadTime() / random_result->AverageReadTime(), 1.0, 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdleVsRandomProperty, ::testing::Values(5ull, 50ull, 500ull));
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,53 @@
+#include "src/core/policy_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace coopfs {
+namespace {
+
+TEST(PolicyFactoryTest, MakesEveryKind) {
+  for (PolicyKind kind : AllPolicyKinds()) {
+    const auto policy = MakePolicy(kind);
+    ASSERT_NE(policy, nullptr) << PolicyKindName(kind);
+    EXPECT_FALSE(policy->Name().empty());
+  }
+}
+
+TEST(PolicyFactoryTest, ParamsAreApplied) {
+  PolicyParams params;
+  params.nchance_recirculation = 5;
+  params.coordinated_fraction = 0.5;
+  EXPECT_EQ(MakePolicy(PolicyKind::kNChance, params)->Name(), "N-Chance (n=5)");
+  EXPECT_EQ(MakePolicy(PolicyKind::kCentralCoord, params)->Name(), "Central Coordination (50%)");
+  EXPECT_EQ(MakePolicy(PolicyKind::kHashDistributed, params)->Name(), "Hash Distributed (50%)");
+}
+
+TEST(PolicyFactoryTest, ParseRoundTripsKindNames) {
+  for (PolicyKind kind : AllPolicyKinds()) {
+    const Result<PolicyKind> parsed = ParsePolicyKind(PolicyKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << PolicyKindName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(PolicyFactoryTest, ParseAliases) {
+  EXPECT_EQ(*ParsePolicyKind("base"), PolicyKind::kBaseline);
+  EXPECT_EQ(*ParsePolicyKind("n-chance"), PolicyKind::kNChance);
+  EXPECT_EQ(*ParsePolicyKind("weighted-lru"), PolicyKind::kWeightedLru);
+  EXPECT_EQ(*ParsePolicyKind("best-case"), PolicyKind::kBestCase);
+}
+
+TEST(PolicyFactoryTest, ParseRejectsUnknown) {
+  EXPECT_EQ(ParsePolicyKind("frobnicate").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParsePolicyKind("").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PolicyFactoryTest, Figure4OrderMatchesPaper) {
+  const std::vector<PolicyKind> kinds = Figure4PolicyKinds();
+  ASSERT_EQ(kinds.size(), 6u);
+  EXPECT_EQ(kinds.front(), PolicyKind::kBaseline);
+  EXPECT_EQ(kinds.back(), PolicyKind::kBestCase);
+}
+
+}  // namespace
+}  // namespace coopfs

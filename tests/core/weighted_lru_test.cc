@@ -1,0 +1,103 @@
+#include "src/core/weighted_lru.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/nchance.h"
+#include "src/sim/simulator.h"
+#include "src/sim/validation.h"
+#include "src/trace/workload.h"
+#include "tests/testing/scripted.h"
+
+namespace coopfs {
+namespace {
+
+TEST(WeightedLruTest, Name) { EXPECT_EQ(WeightedLruPolicy().Name(), "Weighted LRU"); }
+
+TEST(WeightedLruTest, EvictsLowValueDuplicateOverOldSinglet) {
+  // Client 0 (capacity 2) holds the singlet f1 (older) and the duplicated
+  // f2 (newer, also held by client 1). Plain LRU/N-Chance would pick f1 as
+  // the victim; Weighted LRU must keep the singlet (disk-priced) and drop
+  // the duplicate (network-priced), even though it is more recent.
+  TraceBuilder builder;
+  builder.Read(1, 2, 0)   // Client 1 caches f2.
+      .Read(0, 1, 0)      // Client 0 caches singlet f1.
+      .Read(0, 2, 0)      // Client 0 caches duplicate f2 (MRU).
+      .Read(0, 3, 0);     // Insertion forces a weighted eviction.
+  Simulator simulator(TinyConfig(2, 8, 2), &builder.Build());
+  WeightedLruPolicy policy;
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_TRUE(context.client_cache(0).Contains(BlockId{1, 0}))
+        << "the singlet must survive the weighted eviction";
+    EXPECT_FALSE(context.client_cache(0).Contains(BlockId{2, 0}))
+        << "the duplicated block is the cheap victim";
+    EXPECT_TRUE(CheckCacheDirectoryConsistency(context).ok());
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(WeightedLruTest, EvictedSingletStillRecirculates) {
+  // When every candidate is a singlet, the weighted victim recirculates
+  // exactly as under N-Chance.
+  TraceBuilder builder;
+  builder.Read(1, 9, 0).Read(0, 1, 0).Read(0, 2, 0);
+  Simulator simulator(TinyConfig(1, 8, 2), &builder.Build());
+  WeightedLruPolicy policy;
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_TRUE(context.client_cache(1).Contains(BlockId{1, 0}))
+        << "evicted singlet should recirculate to the peer";
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(WeightedLruTest, ChargesGlobalStateQueries) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0);  // One weighted eviction decision.
+  Simulator simulator(TinyConfig(1, 8, 2), &builder.Build());
+  WeightedLruPolicy weighted;
+  const auto result = simulator.Run(weighted);
+  ASSERT_TRUE(result.ok());
+  // At least the eviction-decision query (2 messages) was charged.
+  EXPECT_GE(result->server_load.Units(ServerLoadKind::kOther), 2u);
+}
+
+class WeightedLruProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property (paper §2.5/§4.5): Weighted LRU performs similarly to N-Chance
+// but with higher server load (its global-state queries).
+TEST_P(WeightedLruProperty, SimilarToNChanceWithMoreLoad) {
+  WorkloadConfig workload = SmallTestWorkloadConfig(GetParam());
+  workload.num_events = 12'000;
+  const Trace trace = GenerateWorkload(workload);
+  SimulationConfig config = TinyConfig(32, 16);
+  config.warmup_events = 4000;
+  Simulator simulator(config, &trace);
+  NChancePolicy nchance(2);
+  WeightedLruPolicy weighted(2);
+  const auto nchance_result = simulator.Run(nchance);
+  const auto weighted_result = simulator.Run(weighted);
+  ASSERT_TRUE(nchance_result.ok());
+  ASSERT_TRUE(weighted_result.ok());
+  // Within 15% on response time.
+  EXPECT_NEAR(weighted_result->AverageReadTime() / nchance_result->AverageReadTime(), 1.0, 0.15);
+  EXPECT_GE(weighted_result->server_load.Units(ServerLoadKind::kOther),
+            nchance_result->server_load.Units(ServerLoadKind::kOther));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedLruProperty, ::testing::Values(8ull, 88ull, 888ull));
+
+// Consistency of metadata under weighted eviction.
+TEST(WeightedLruTest, InvariantsHoldOnWorkload) {
+  WorkloadConfig workload = SmallTestWorkloadConfig(101);
+  workload.num_events = 8000;
+  const Trace trace = GenerateWorkload(workload);
+  Simulator simulator(TinyConfig(16, 16), &trace);
+  WeightedLruPolicy policy;
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    const Status status = CheckCacheDirectoryConsistency(context);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,133 @@
+// Golden-shape regression tests: scaled-down versions of the paper's
+// figure experiments, asserting the qualitative results that EXPERIMENTS.md
+// reports. If a future change silently breaks a reproduction (e.g. the
+// Figure 10 plateau or the Figure 13 crossover), these fail.
+#include <gtest/gtest.h>
+
+#include "src/core/central_coord.h"
+#include "src/core/nchance.h"
+#include "src/core/policy_factory.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload.h"
+
+namespace coopfs {
+namespace {
+
+// One shared scaled-down Sprite-like workload for all shape tests.
+class FigureShapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig workload = SpriteWorkloadConfig(42);
+    workload.num_events = 400'000;
+    trace_ = new Trace(GenerateWorkload(workload));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+
+  static SimulationConfig PaperConfig() {
+    SimulationConfig config;
+    config.WithClientCacheMiB(16).WithServerCacheMiB(128);
+    config.warmup_events = trace_->size() * 4 / 7;
+    return config;
+  }
+
+  static SimulationResult Run(const SimulationConfig& config, PolicyKind kind) {
+    Simulator simulator(config, trace_);
+    auto policy = MakePolicy(kind);
+    auto result = simulator.Run(*policy);
+    EXPECT_TRUE(result.ok());
+    return *std::move(result);
+  }
+
+  static Trace* trace_;
+};
+
+Trace* FigureShapeTest::trace_ = nullptr;
+
+// Figure 4/5: the coordinated algorithms reduce baseline disk accesses far
+// more than greedy, and N-Chance barely dents the local hit rate.
+TEST_F(FigureShapeTest, Figure4And5Shape) {
+  const SimulationConfig config = PaperConfig();
+  const SimulationResult base = Run(config, PolicyKind::kBaseline);
+  const SimulationResult greedy = Run(config, PolicyKind::kGreedy);
+  const SimulationResult nchance = Run(config, PolicyKind::kNChance);
+  const SimulationResult best = Run(config, PolicyKind::kBestCase);
+
+  EXPECT_GT(greedy.SpeedupOver(base), 1.05);
+  EXPECT_GT(nchance.SpeedupOver(base), greedy.SpeedupOver(base));
+  // N-Chance within 10% of the best case (the paper's headline).
+  EXPECT_LE(best.AverageReadTime(), nchance.AverageReadTime());
+  EXPECT_GT(nchance.SpeedupOver(base), best.SpeedupOver(base) * 0.9);
+  // Disk-rate reduction dominates; local hit rate barely moves. (The full
+  // 700k-event run roughly halves the disk rate; this scaled-down trace
+  // leaves less cooperative headroom, so the bar is softer.)
+  EXPECT_LT(nchance.DiskRate(), base.DiskRate() * 0.82);
+  EXPECT_NEAR(nchance.LevelFraction(CacheLevel::kLocalMemory),
+              base.LevelFraction(CacheLevel::kLocalMemory), 0.02);
+}
+
+// Figure 9: coordinating a moderate fraction beats both extremes.
+TEST_F(FigureShapeTest, Figure9PlateauShape) {
+  const SimulationConfig config = PaperConfig();
+  const double at_0 = Run(config, PolicyKind::kBaseline).AverageReadTime();
+  PolicyParams params;
+  params.coordinated_fraction = 0.7;
+  Simulator simulator(config, trace_);
+  CentralCoordPolicy seventy(0.7);
+  CentralCoordPolicy all(1.0);
+  const double at_70 = simulator.Run(seventy)->AverageReadTime();
+  const double at_100 = simulator.Run(all)->AverageReadTime();
+  EXPECT_LT(at_70, at_0);
+  EXPECT_LT(at_70, at_100);
+}
+
+// Figure 10: the n = 0 -> 1 jump dwarfs the n = 1 -> 2 gain, and the curve
+// is flat beyond n = 2.
+TEST_F(FigureShapeTest, Figure10RecirculationShape) {
+  const SimulationConfig config = PaperConfig();
+  Simulator simulator(config, trace_);
+  NChancePolicy n0(0);
+  NChancePolicy n1(1);
+  NChancePolicy n2(2);
+  NChancePolicy n8(8);
+  const double t0 = simulator.Run(n0)->AverageReadTime();
+  const double t1 = simulator.Run(n1)->AverageReadTime();
+  const double t2 = simulator.Run(n2)->AverageReadTime();
+  const double t8 = simulator.Run(n8)->AverageReadTime();
+  EXPECT_LT(t1, t0);
+  EXPECT_LE(t2, t1);
+  EXPECT_GT(t0 - t1, (t1 - t2) * 2) << "0->1 must be the dominant gain";
+  EXPECT_NEAR(t8, t2, t2 * 0.02) << "beyond n=2 the curve is flat";
+}
+
+// Figure 12: a server cache rivaling aggregate client memory erases the
+// baseline's disadvantage.
+TEST_F(FigureShapeTest, Figure12ServerCacheCrossover) {
+  SimulationConfig small = PaperConfig();
+  small.WithServerCacheMiB(64);
+  SimulationConfig huge = PaperConfig();
+  huge.WithServerCacheMiB(1024);  // > 42 x 16 MB aggregate.
+  const double base_small = Run(small, PolicyKind::kBaseline).AverageReadTime();
+  const double nchance_small = Run(small, PolicyKind::kNChance).AverageReadTime();
+  const double base_huge = Run(huge, PolicyKind::kBaseline).AverageReadTime();
+  const double nchance_huge = Run(huge, PolicyKind::kNChance).AverageReadTime();
+  EXPECT_GT(base_small, nchance_small * 1.2) << "cooperation wins at small server caches";
+  EXPECT_NEAR(base_huge / nchance_huge, 1.0, 0.05) << "and stops mattering at huge ones";
+}
+
+// Figure 13: on a slow (Ethernet-class) network Central Coordination loses
+// its edge while N-Chance keeps a solid one.
+TEST_F(FigureShapeTest, Figure13SlowNetworkShape) {
+  SimulationConfig slow = PaperConfig();
+  slow.network = NetworkModel::Atm155().WithRoundTrip(6400);
+  const double base = Run(slow, PolicyKind::kBaseline).AverageReadTime();
+  const double central = Run(slow, PolicyKind::kCentralCoord).AverageReadTime();
+  const double nchance = Run(slow, PolicyKind::kNChance).AverageReadTime();
+  EXPECT_GT(base, nchance * 1.04) << "N-Chance keeps winning on slow networks";
+  EXPECT_GT(central, nchance * 1.10) << "Central pays for its lost local hits";
+}
+
+}  // namespace
+}  // namespace coopfs

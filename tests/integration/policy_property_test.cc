@@ -1,0 +1,85 @@
+// Cross-policy property tests: for every (policy, seed, cache-size)
+// combination, full runs must satisfy structural invariants regardless of
+// the workload's randomness.
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/core/policy_factory.h"
+#include "src/sim/simulator.h"
+#include "src/sim/validation.h"
+#include "src/trace/workload.h"
+
+namespace coopfs {
+namespace {
+
+using PropertyParam = std::tuple<PolicyKind, std::uint64_t, std::size_t>;
+
+class PolicyPropertyTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(PolicyPropertyTest, RunSatisfiesStructuralInvariants) {
+  const auto [kind, seed, cache_blocks] = GetParam();
+
+  WorkloadConfig workload = SmallTestWorkloadConfig(seed);
+  workload.num_events = 6000;
+  const Trace trace = GenerateWorkload(workload);
+
+  SimulationConfig config;
+  config.client_cache_blocks = cache_blocks;
+  config.server_cache_blocks = cache_blocks * 2;
+  config.warmup_events = 1000;
+  config.seed = seed;
+
+  Simulator simulator(config, &trace);
+  auto policy = MakePolicy(kind);
+  const auto result = simulator.Run(*policy, [](SimContext& context) {
+    const Status status = CheckCacheDirectoryConsistency(context);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Read accounting is complete and consistent.
+  EXPECT_EQ(result->level_counts.Total(), result->reads);
+  std::uint64_t per_client_sum = 0;
+  double per_client_time = 0.0;
+  for (const ClientReadStats& client : result->per_client) {
+    per_client_sum += client.reads;
+    per_client_time += client.total_time_us;
+  }
+  EXPECT_EQ(per_client_sum, result->reads);
+  double level_time = 0.0;
+  for (double t : result->level_time_us) {
+    level_time += t;
+  }
+  EXPECT_NEAR(per_client_time, level_time, 1e-6);
+
+  // Latency sanity: the average read cannot beat a pure local hit or
+  // exceed a pure worst-case disk access.
+  if (result->reads > 0) {
+    EXPECT_GE(result->AverageReadTime(), 250.0);
+    EXPECT_LE(result->AverageReadTime(), 16'050.0);
+  }
+}
+
+std::string ParamName(const ::testing::TestParamInfo<PropertyParam>& info) {
+  const auto [kind, seed, cache_blocks] = info.param;
+  std::string name = std::string(PolicyKindName(kind)) + "_s" + std::to_string(seed) + "_c" +
+                     std::to_string(cache_blocks);
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';  // gtest parameter names must be identifiers.
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(AllPolicyKinds()),
+                       ::testing::Values(1ull, 42ull, 1994ull),
+                       ::testing::Values(std::size_t{4}, std::size_t{32})),
+    ParamName);
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,200 @@
+// End-to-end integration tests: full simulations over generated workloads,
+// checking the paper's qualitative results and cross-policy invariants.
+#include <gtest/gtest.h>
+
+#include "src/core/policy_factory.h"
+#include "src/sim/simulator.h"
+#include "src/sim/validation.h"
+#include "src/trace/workload.h"
+#include "tests/testing/scripted.h"
+
+namespace coopfs {
+namespace {
+
+struct AllResults {
+  SimulationResult baseline, direct, greedy, central, nchance, hash, weighted, best;
+};
+
+AllResults RunAll(const Trace& trace, SimulationConfig config) {
+  Simulator simulator(config, &trace);
+  AllResults results;
+  auto run = [&simulator](PolicyKind kind) {
+    auto policy = MakePolicy(kind);
+    auto result = simulator.Run(*policy, [](SimContext& context) {
+      const Status status = CheckCacheDirectoryConsistency(context);
+      ASSERT_TRUE(status.ok()) << status.ToString();
+    });
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *std::move(result);
+  };
+  results.baseline = run(PolicyKind::kBaseline);
+  results.direct = run(PolicyKind::kDirectCoop);
+  results.greedy = run(PolicyKind::kGreedy);
+  results.central = run(PolicyKind::kCentralCoord);
+  results.nchance = run(PolicyKind::kNChance);
+  results.hash = run(PolicyKind::kHashDistributed);
+  results.weighted = run(PolicyKind::kWeightedLru);
+  results.best = run(PolicyKind::kBestCase);
+  return results;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig workload = SmallTestWorkloadConfig(2025);
+    workload.num_events = 30'000;
+    trace_ = new Trace(GenerateWorkload(workload));
+    SimulationConfig config = TinyConfig(64, 128);
+    config.warmup_events = 10'000;
+    results_ = new AllResults(RunAll(*trace_, config));
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    delete trace_;
+    results_ = nullptr;
+    trace_ = nullptr;
+  }
+
+  static const AllResults& results() { return *results_; }
+
+  static Trace* trace_;
+  static AllResults* results_;
+};
+
+Trace* IntegrationTest::trace_ = nullptr;
+AllResults* IntegrationTest::results_ = nullptr;
+
+TEST_F(IntegrationTest, EveryPolicyCountsEveryRead) {
+  const std::uint64_t reads = results().baseline.reads;
+  ASSERT_GT(reads, 0u);
+  for (const SimulationResult* result :
+       {&results().direct, &results().greedy, &results().central, &results().nchance,
+        &results().hash, &results().weighted, &results().best}) {
+    EXPECT_EQ(result->reads, reads) << result->policy_name;
+    EXPECT_EQ(result->level_counts.Total(), reads) << result->policy_name;
+  }
+}
+
+TEST_F(IntegrationTest, PerClientReadsSumToTotal) {
+  for (const SimulationResult* result : {&results().baseline, &results().nchance}) {
+    std::uint64_t sum = 0;
+    for (const ClientReadStats& client : result->per_client) {
+      sum += client.reads;
+    }
+    EXPECT_EQ(sum, result->reads) << result->policy_name;
+  }
+}
+
+TEST_F(IntegrationTest, BaselineNeverUsesRemoteClients) {
+  EXPECT_EQ(results().baseline.level_counts.Get(
+                static_cast<std::size_t>(CacheLevel::kRemoteClient)),
+            0u);
+}
+
+// Paper Figure 4 ordering: every cooperative algorithm beats the baseline;
+// coordinated algorithms beat greedy; nothing beats the best case (within
+// small tolerance, since best-case is a bound for LRU-style algorithms).
+TEST_F(IntegrationTest, SpeedupOrderingMatchesPaper) {
+  const double base = results().baseline.AverageReadTime();
+  EXPECT_LT(results().greedy.AverageReadTime(), base);
+  EXPECT_LE(results().direct.AverageReadTime(), base * 1.005);
+  EXPECT_LT(results().central.AverageReadTime(), results().greedy.AverageReadTime());
+  EXPECT_LT(results().nchance.AverageReadTime(), results().greedy.AverageReadTime());
+  EXPECT_LE(results().best.AverageReadTime(),
+            results().nchance.AverageReadTime() * 1.05);
+  EXPECT_LE(results().best.AverageReadTime(),
+            results().central.AverageReadTime() * 1.05);
+}
+
+// Paper Figure 5: coordinated algorithms cut the disk rate well below the
+// baseline's; N-Chance barely disturbs the local hit rate while Central
+// Coordination sacrifices a chunk of it.
+TEST_F(IntegrationTest, HitRateShapesMatchPaper) {
+  EXPECT_LT(results().nchance.DiskRate(), results().baseline.DiskRate() * 0.85);
+  EXPECT_LT(results().central.DiskRate(), results().baseline.DiskRate() * 0.85);
+  const double base_local = results().baseline.LevelFraction(CacheLevel::kLocalMemory);
+  EXPECT_GT(results().nchance.LevelFraction(CacheLevel::kLocalMemory), base_local - 0.05);
+  EXPECT_LT(results().central.LevelFraction(CacheLevel::kLocalMemory), base_local);
+}
+
+// Paper §2.2: greedy forwarding does not increase server load.
+TEST_F(IntegrationTest, GreedyLoadNotAboveBaseline) {
+  EXPECT_LE(results().greedy.server_load.TotalUnits(),
+            results().baseline.server_load.TotalUnits());
+}
+
+// Paper §2.5: hash distribution serves cooperative hits without the server.
+TEST_F(IntegrationTest, HashLoadBelowCentral) {
+  EXPECT_LT(results().hash.server_load.TotalUnits(),
+            results().central.server_load.TotalUnits());
+}
+
+// Paper Figure 7: N-Chance and Greedy do no harm to any client.
+TEST_F(IntegrationTest, GreedyAndNChanceAreFair) {
+  for (const SimulationResult* result : {&results().greedy, &results().nchance}) {
+    const std::vector<double> speedups = result->PerClientSpeedup(results().baseline);
+    for (std::size_t c = 0; c < speedups.size(); ++c) {
+      // Allow a sliver of noise for nearly idle clients.
+      EXPECT_GT(speedups[c], 0.90) << result->policy_name << " client " << c;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, ResultsAreDeterministic) {
+  SimulationConfig config = TinyConfig(64, 128);
+  config.warmup_events = 10'000;
+  Simulator simulator(config, trace_);
+  auto policy_a = MakePolicy(PolicyKind::kNChance);
+  auto policy_b = MakePolicy(PolicyKind::kNChance);
+  const auto a = simulator.Run(*policy_a);
+  const auto b = simulator.Run(*policy_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->level_counts.Total(), b->level_counts.Total());
+  for (std::size_t level = 0; level < kNumCacheLevels; ++level) {
+    EXPECT_EQ(a->level_counts.Get(level), b->level_counts.Get(level));
+  }
+  EXPECT_EQ(a->server_load.TotalUnits(), b->server_load.TotalUnits());
+}
+
+// The paper validated its simulator against the Leff et al. synthetic
+// workload (§3). With a stationary access distribution, doubling effective
+// cache through cooperation must raise the combined-memory hit rate, and
+// results must be stable across runs.
+TEST(LeffValidationTest, CooperationRaisesGlobalHitRate) {
+  LeffWorkloadConfig leff;
+  leff.num_clients = 8;
+  leff.num_objects = 2048;
+  leff.num_events = 60'000;
+  const Trace trace = GenerateLeffWorkload(leff);
+  SimulationConfig config = TinyConfig(64, 64);
+  config.warmup_events = 20'000;
+  Simulator simulator(config, &trace);
+  auto baseline = MakePolicy(PolicyKind::kBaseline);
+  auto nchance = MakePolicy(PolicyKind::kNChance);
+  const auto base_result = simulator.Run(*baseline);
+  const auto coop_result = simulator.Run(*nchance);
+  ASSERT_TRUE(base_result.ok());
+  ASSERT_TRUE(coop_result.ok());
+  EXPECT_LT(coop_result->DiskRate(), base_result->DiskRate());
+  EXPECT_LT(coop_result->AverageReadTime(), base_result->AverageReadTime());
+}
+
+// Zero-sized caches everywhere must still run (everything from disk).
+TEST(DegenerateConfigTest, NoCachesMeansAllDisk) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 1, 0).Read(1, 1, 0);
+  Simulator simulator(TinyConfig(0, 0, 2), &builder.Build());
+  for (PolicyKind kind : {PolicyKind::kBaseline, PolicyKind::kGreedy, PolicyKind::kNChance,
+                          PolicyKind::kCentralCoord}) {
+    auto policy = MakePolicy(kind);
+    const auto result = simulator.Run(*policy);
+    ASSERT_TRUE(result.ok()) << PolicyKindName(kind);
+    EXPECT_EQ(result->level_counts.Get(static_cast<std::size_t>(CacheLevel::kServerDisk)),
+              result->reads)
+        << PolicyKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,100 @@
+#include "src/model/cache_model.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/core/baseline.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload.h"
+
+namespace coopfs {
+namespace {
+
+TEST(ZipfProbabilitiesTest, NormalizedAndDecreasing) {
+  const std::vector<double> p = ZipfProbabilities(100, 1.0);
+  ASSERT_EQ(p.size(), 100u);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_GT(p[i - 1], p[i]);
+  }
+}
+
+TEST(ZipfProbabilitiesTest, ZeroSkewIsUniform) {
+  const std::vector<double> p = ZipfProbabilities(10, 0.0);
+  for (double v : p) {
+    EXPECT_NEAR(v, 0.1, 1e-12);
+  }
+}
+
+TEST(CheTest, EdgeCases) {
+  const std::vector<double> p = ZipfProbabilities(100, 1.0);
+  EXPECT_DOUBLE_EQ(CheLruHitRate(p, 0), 0.0);
+  EXPECT_DOUBLE_EQ(CheLruHitRate(p, 100), 1.0);
+  EXPECT_DOUBLE_EQ(CheLruHitRate(p, 200), 1.0);
+  EXPECT_DOUBLE_EQ(CheLruHitRate({}, 10), 0.0);
+}
+
+TEST(CheTest, UniformPopularityApproachesProportionalHitRate) {
+  // Under IRM with uniform popularity, LRU's hit rate equals C/N.
+  const std::vector<double> p = ZipfProbabilities(1000, 0.0);
+  EXPECT_NEAR(CheLruHitRate(p, 250), 0.25, 0.01);
+  EXPECT_NEAR(CheLruHitRate(p, 500), 0.50, 0.01);
+}
+
+TEST(CheTest, MonotoneInCacheSize) {
+  const std::vector<double> p = ZipfProbabilities(1000, 0.9);
+  double last = 0.0;
+  for (std::size_t c : {10u, 50u, 100u, 400u, 900u}) {
+    const double hit = CheLruHitRate(p, c);
+    EXPECT_GT(hit, last);
+    last = hit;
+  }
+}
+
+TEST(CheTest, SkewBeatsUniformAtSameSize) {
+  const std::vector<double> uniform = ZipfProbabilities(1000, 0.0);
+  const std::vector<double> skewed = ZipfProbabilities(1000, 1.0);
+  EXPECT_GT(CheLruHitRate(skewed, 100), CheLruHitRate(uniform, 100) + 0.1);
+}
+
+class CheOracleValidation : public ::testing::TestWithParam<std::size_t> {};
+
+// The paper validated its simulator against the Leff synthetic workload
+// (§3); we do the analytic equivalent. A Leff trace with shared_fraction 0
+// gives every client an IRM Zipf stream, so each client's *local* LRU hit
+// rate must match Che's approximation for its cache size. Any drift in the
+// BlockCache LRU discipline or the replay engine breaks this.
+TEST_P(CheOracleValidation, SimulatedLruHitRateMatchesAnalyticPrediction) {
+  const std::size_t cache_blocks = GetParam();
+
+  LeffWorkloadConfig leff;
+  leff.num_clients = 4;
+  leff.num_objects = 2048;
+  leff.zipf_s = 0.9;
+  leff.shared_fraction = 0.0;
+  leff.num_events = 400'000;
+  const Trace trace = GenerateLeffWorkload(leff);
+
+  SimulationConfig config;
+  config.client_cache_blocks = cache_blocks;
+  config.server_cache_blocks = 1;  // Keep the server out of the picture.
+  config.warmup_events = 200'000;
+  Simulator simulator(config, &trace);
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+
+  const double predicted =
+      CheLruHitRate(ZipfProbabilities(leff.num_objects, leff.zipf_s), cache_blocks);
+  const double measured = result->LevelFraction(CacheLevel::kLocalMemory);
+  EXPECT_NEAR(measured, predicted, 0.03)
+      << "cache " << cache_blocks << ": simulated " << measured << " vs Che " << predicted;
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheSizes, CheOracleValidation,
+                         ::testing::Values(std::size_t{64}, std::size_t{256}, std::size_t{512},
+                                           std::size_t{1024}));
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,102 @@
+#include "src/model/network_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/model/access_times.h"
+
+namespace coopfs {
+namespace {
+
+// Figure 1: ATM remote memory = 250 (copy) + 400 (overhead) + 400 (data).
+TEST(NetworkModelTest, Figure1AtmRemoteMemory) {
+  const NetworkModel atm = NetworkModel::Atm155();
+  EXPECT_EQ(atm.RemoteFetchTime(2), 1050);
+}
+
+// Figure 1: ATM remote disk = 1050 + 14,800.
+TEST(NetworkModelTest, Figure1AtmRemoteDisk) {
+  const NetworkModel atm = NetworkModel::Atm155();
+  const DiskModel disk = DiskModel::RuemmlerWilkes();
+  EXPECT_EQ(atm.RemoteFetchTime(2) + disk.access_time, 15'850);
+}
+
+// Figure 1: Ethernet remote memory = 250 + 400 + 6250 = 6900.
+TEST(NetworkModelTest, Figure1EthernetRemoteMemory) {
+  const NetworkModel eth = NetworkModel::Ethernet10();
+  EXPECT_EQ(eth.RemoteFetchTime(2), 6900);
+}
+
+// Figure 1: Ethernet remote disk = 6900 + 14,800 = 21,700.
+TEST(NetworkModelTest, Figure1EthernetRemoteDisk) {
+  const NetworkModel eth = NetworkModel::Ethernet10();
+  const DiskModel disk = DiskModel::RuemmlerWilkes();
+  EXPECT_EQ(eth.RemoteFetchTime(2) + disk.access_time, 21'700);
+}
+
+// §3: a server-forwarded cooperative hit takes 3 hops: 1250 us on ATM.
+TEST(NetworkModelTest, ForwardedRemoteHitIs1250OnAtm) {
+  EXPECT_EQ(NetworkModel::Atm155().RemoteFetchTime(3), 1250);
+}
+
+TEST(NetworkModelTest, TransferTimeExcludesMemoryCopy) {
+  const NetworkModel atm = NetworkModel::Atm155();
+  EXPECT_EQ(atm.TransferTime(2), 800);  // The paper's request-reply figure.
+}
+
+TEST(NetworkModelTest, WithRoundTripScalesProportionally) {
+  const NetworkModel atm = NetworkModel::Atm155();
+  const NetworkModel scaled = atm.WithRoundTrip(8000);  // 10x slower.
+  EXPECT_EQ(scaled.TransferTime(2), 8000);
+  EXPECT_EQ(scaled.per_hop, 2000);
+  EXPECT_EQ(scaled.block_transfer, 4000);
+  EXPECT_EQ(scaled.memory_copy, 250);  // Memory speed unaffected.
+}
+
+TEST(NetworkModelTest, WithRoundTripIdentity) {
+  const NetworkModel atm = NetworkModel::Atm155();
+  const NetworkModel same = atm.WithRoundTrip(atm.TransferTime(2));
+  EXPECT_EQ(same.per_hop, atm.per_hop);
+  EXPECT_EQ(same.block_transfer, atm.block_transfer);
+}
+
+// Figure 3 rows, exactly as printed in the paper.
+TEST(AccessTimesTest, Figure3ServerForwardedAlgorithms) {
+  const AccessTimes times =
+      ComputeAccessTimes(NetworkModel::Atm155(), DiskModel::RuemmlerWilkes(), /*remote_hops=*/3);
+  EXPECT_EQ(times.local, 250);
+  EXPECT_EQ(times.remote_client, 1250);  // Greedy / Central / N-Chance.
+  EXPECT_EQ(times.server_memory, 1050);
+  EXPECT_EQ(times.server_disk, 15'850);
+}
+
+TEST(AccessTimesTest, Figure3DirectCooperation) {
+  const AccessTimes times =
+      ComputeAccessTimes(NetworkModel::Atm155(), DiskModel::RuemmlerWilkes(), /*remote_hops=*/2);
+  EXPECT_EQ(times.remote_client, 1050);  // Direct: no server forward hop.
+}
+
+TEST(AccessTimesTest, ForLevelMatchesFields) {
+  const AccessTimes times =
+      ComputeAccessTimes(NetworkModel::Atm155(), DiskModel::RuemmlerWilkes(), 3);
+  EXPECT_EQ(times.ForLevel(CacheLevel::kLocalMemory), times.local);
+  EXPECT_EQ(times.ForLevel(CacheLevel::kRemoteClient), times.remote_client);
+  EXPECT_EQ(times.ForLevel(CacheLevel::kServerMemory), times.server_memory);
+  EXPECT_EQ(times.ForLevel(CacheLevel::kServerDisk), times.server_disk);
+}
+
+class NetworkSweepProperty : public ::testing::TestWithParam<Micros> {};
+
+// Property (Figure 13 machinery): scaling to any round trip preserves the
+// 2-hop round-trip target exactly and keeps hop/transfer ratios.
+TEST_P(NetworkSweepProperty, RoundTripTargetIsExact) {
+  const Micros target = GetParam();
+  const NetworkModel scaled = NetworkModel::Atm155().WithRoundTrip(target);
+  EXPECT_NEAR(static_cast<double>(scaled.TransferTime(2)), static_cast<double>(target),
+              2.0);  // Rounding each component can cost at most 1 us each.
+}
+
+INSTANTIATE_TEST_SUITE_P(RoundTrips, NetworkSweepProperty,
+                         ::testing::Values(100, 200, 400, 800, 1600, 5000, 10'000));
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,64 @@
+#include "src/model/server_load.h"
+
+#include <gtest/gtest.h>
+
+namespace coopfs {
+namespace {
+
+// §4.1: message = 1 unit, data transfer = 2 more, disk transfer = 2.
+TEST(ServerLoadTest, ServerMemoryHitCostsFourUnits) {
+  ServerLoadTracker tracker;
+  tracker.ChargeServerMemoryHit();
+  EXPECT_EQ(tracker.Units(ServerLoadKind::kHitServerMemory), 4u);
+  EXPECT_EQ(tracker.TotalUnits(), 4u);
+}
+
+TEST(ServerLoadTest, RemoteClientHitCostsTwoUnits) {
+  ServerLoadTracker tracker;
+  tracker.ChargeRemoteClientHit();
+  EXPECT_EQ(tracker.Units(ServerLoadKind::kHitRemoteClient), 2u);
+}
+
+TEST(ServerLoadTest, DiskHitCostsSixUnits) {
+  ServerLoadTracker tracker;
+  tracker.ChargeDiskHit();
+  EXPECT_EQ(tracker.Units(ServerLoadKind::kHitDisk), 6u);
+}
+
+TEST(ServerLoadTest, SmallMessagesChargeOther) {
+  ServerLoadTracker tracker;
+  tracker.ChargeSmallMessages(3);
+  EXPECT_EQ(tracker.Units(ServerLoadKind::kOther), 3u);
+}
+
+TEST(ServerLoadTest, TotalsAccumulate) {
+  ServerLoadTracker tracker;
+  tracker.ChargeServerMemoryHit();
+  tracker.ChargeRemoteClientHit();
+  tracker.ChargeDiskHit();
+  tracker.ChargeSmallMessages(1);
+  EXPECT_EQ(tracker.TotalUnits(), 4u + 2u + 6u + 1u);
+}
+
+TEST(ServerLoadTest, MergeAndReset) {
+  ServerLoadTracker a;
+  ServerLoadTracker b;
+  a.ChargeDiskHit();
+  b.ChargeDiskHit();
+  b.ChargeSmallMessages(2);
+  a.Merge(b);
+  EXPECT_EQ(a.Units(ServerLoadKind::kHitDisk), 12u);
+  EXPECT_EQ(a.Units(ServerLoadKind::kOther), 2u);
+  a.Reset();
+  EXPECT_EQ(a.TotalUnits(), 0u);
+}
+
+TEST(ServerLoadTest, KindNames) {
+  EXPECT_STREQ(ServerLoadKindName(ServerLoadKind::kHitServerMemory), "Hit Server Memory");
+  EXPECT_STREQ(ServerLoadKindName(ServerLoadKind::kHitRemoteClient), "Hit Remote Client");
+  EXPECT_STREQ(ServerLoadKindName(ServerLoadKind::kHitDisk), "Hit Disk");
+  EXPECT_STREQ(ServerLoadKindName(ServerLoadKind::kOther), "Other Load");
+}
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,197 @@
+// Tests for the delayed-write extension (SimulationConfig::write_policy).
+#include <gtest/gtest.h>
+
+#include "src/core/baseline.h"
+#include "src/core/nchance.h"
+#include "src/core/policy_factory.h"
+#include "src/sim/simulator.h"
+#include "src/sim/validation.h"
+#include "src/trace/workload.h"
+#include "tests/testing/scripted.h"
+
+namespace coopfs {
+namespace {
+
+std::uint64_t Level(const SimulationResult& result, CacheLevel level) {
+  return result.level_counts.Get(static_cast<std::size_t>(level));
+}
+
+SimulationConfig DelayedConfig(std::size_t client_blocks, std::size_t server_blocks,
+                               std::uint32_t clients, Micros delay = 30'000'000) {
+  SimulationConfig config = TinyConfig(client_blocks, server_blocks, clients);
+  config.write_policy = WritePolicy::kDelayedWrite;
+  config.write_delay = delay;
+  return config;
+}
+
+TEST(DelayedWriteTest, DirtyBlockServedClientToClient) {
+  // Client 0 writes f1 (held dirty). Client 1's read must be forwarded to
+  // client 0 — the server's copy is stale/absent (DASH-style, paper §5) —
+  // even under the baseline policy, which otherwise never forwards.
+  TraceBuilder builder;
+  builder.Write(0, 1, 0).Read(1, 1, 0);
+  Simulator simulator(DelayedConfig(4, 4, 2), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Level(*result, CacheLevel::kRemoteClient), 1u);
+  EXPECT_EQ(Level(*result, CacheLevel::kServerDisk), 0u);
+  EXPECT_EQ(result->writes, 1u);
+  EXPECT_EQ(result->flushed_writes, 0u);  // Still dirty at trace end.
+}
+
+TEST(DelayedWriteTest, WriteDoesNotTouchServerUntilFlush) {
+  TraceBuilder builder;
+  builder.Write(0, 1, 0);
+  Simulator simulator(DelayedConfig(4, 4, 2), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_FALSE(context.server_cache().Contains(BlockId{1, 0}));
+    const CacheEntry* entry = context.client_cache(0).Find(BlockId{1, 0});
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->dirty);
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(DelayedWriteTest, FlushAfterDelay) {
+  // TraceBuilder spaces events 1000 us apart; with a 2500 us delay the
+  // write flushes during the later filler events.
+  TraceBuilder builder;
+  builder.Write(0, 1, 0).Read(1, 9, 0).Read(1, 9, 0).Read(1, 9, 0).Read(1, 9, 0);
+  Simulator simulator(DelayedConfig(4, 4, 2, /*delay=*/2500), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_TRUE(context.server_cache().Contains(BlockId{1, 0}));
+    const CacheEntry* entry = context.client_cache(0).Find(BlockId{1, 0});
+    ASSERT_NE(entry, nullptr);
+    EXPECT_FALSE(entry->dirty);
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flushed_writes, 1u);
+  EXPECT_EQ(result->absorbed_writes, 0u);
+}
+
+TEST(DelayedWriteTest, OverwriteIsAbsorbed) {
+  TraceBuilder builder;
+  builder.Write(0, 1, 0).Write(0, 1, 0).Write(0, 1, 0);
+  Simulator simulator(DelayedConfig(4, 4, 2), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->writes, 3u);
+  EXPECT_EQ(result->absorbed_writes, 2u);  // Only one flush will happen.
+}
+
+TEST(DelayedWriteTest, DeleteAbsorbsDirtyData) {
+  // The classic short-lived-file effect: data deleted before the delay
+  // expires never costs a server write at all.
+  TraceBuilder builder;
+  builder.Write(0, 1, 0).Delete(0, 1);
+  Simulator simulator(DelayedConfig(4, 4, 2), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->absorbed_writes, 1u);
+  EXPECT_EQ(result->flushed_writes, 0u);
+}
+
+TEST(DelayedWriteTest, EvictionForcesFlush) {
+  // Client 0 (capacity 1) writes f1 then reads f2: the eviction of dirty
+  // f1 must write it back before discarding.
+  TraceBuilder builder;
+  builder.Write(0, 1, 0).Read(0, 2, 0);
+  Simulator simulator(DelayedConfig(1, 4, 2), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_TRUE(context.server_cache().Contains(BlockId{1, 0}));
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flushed_writes, 1u);
+}
+
+TEST(DelayedWriteTest, RebootLosesDirtyData) {
+  TraceBuilder builder;
+  builder.Write(0, 1, 0);
+  TraceEvent reboot;
+  reboot.timestamp = 1'000'000;
+  reboot.client = 0;
+  reboot.type = EventType::kReboot;
+  Trace trace = builder.Build();
+  trace.push_back(reboot);
+  Simulator simulator(DelayedConfig(4, 4, 2), &trace);
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->lost_writes, 1u);
+  EXPECT_EQ(result->flushed_writes, 0u);
+}
+
+TEST(DelayedWriteTest, NChanceEvictionFlushesBeforeRecirculation) {
+  // Client 0 (capacity 1) writes singlet f1, then reads f2: f1 must be
+  // flushed and then recirculated to the peer as a clean copy.
+  TraceBuilder builder;
+  builder.Read(1, 9, 0).Write(0, 1, 0).Read(0, 2, 0);
+  Simulator simulator(DelayedConfig(1, 8, 2), &builder.Build());
+  NChancePolicy policy(2);
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_TRUE(context.server_cache().Contains(BlockId{1, 0}));
+    const CacheEntry* entry = context.client_cache(1).Find(BlockId{1, 0});
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->recirculating());
+    EXPECT_FALSE(entry->dirty);
+    EXPECT_TRUE(CheckCacheDirectoryConsistency(context).ok());
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flushed_writes, 1u);
+}
+
+TEST(DelayedWriteTest, WriteThroughCountsNoDelayedStats) {
+  TraceBuilder builder;
+  builder.Write(0, 1, 0).Write(0, 1, 0);
+  Simulator simulator(TinyConfig(4, 4, 2), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->writes, 2u);
+  EXPECT_EQ(result->flushed_writes, 0u);
+  EXPECT_EQ(result->absorbed_writes, 0u);
+}
+
+class WritePolicyInvarianceProperty : public ::testing::TestWithParam<PolicyKind> {};
+
+// The paper's §3 claim: "Since we focus on read performance, a delayed
+// write or write back policy would not affect our results." Read response
+// under delayed writes must be close to write-through for every policy.
+TEST_P(WritePolicyInvarianceProperty, ReadResultsBarelyChange) {
+  WorkloadConfig workload = SmallTestWorkloadConfig(77);
+  workload.num_events = 12'000;
+  const Trace trace = GenerateWorkload(workload);
+
+  SimulationConfig through = TinyConfig(32, 64);
+  through.warmup_events = 4000;
+  SimulationConfig delayed = through;
+  delayed.write_policy = WritePolicy::kDelayedWrite;
+
+  Simulator sim_through(through, &trace);
+  Simulator sim_delayed(delayed, &trace);
+  auto policy_a = MakePolicy(GetParam());
+  auto policy_b = MakePolicy(GetParam());
+  const auto result_through = sim_through.Run(*policy_a);
+  const auto result_delayed = sim_delayed.Run(*policy_b);
+  ASSERT_TRUE(result_through.ok());
+  ASSERT_TRUE(result_delayed.ok());
+  EXPECT_NEAR(result_delayed->AverageReadTime() / result_through->AverageReadTime(), 1.0, 0.08)
+      << result_through->ToString() << "\nvs\n"
+      << result_delayed->ToString();
+  // And the delayed run must stay structurally consistent.
+  EXPECT_EQ(result_delayed->level_counts.Total(), result_delayed->reads);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, WritePolicyInvarianceProperty,
+                         ::testing::Values(PolicyKind::kBaseline, PolicyKind::kGreedy,
+                                           PolicyKind::kCentralCoord, PolicyKind::kNChance,
+                                           PolicyKind::kHashDistributed));
+
+}  // namespace
+}  // namespace coopfs

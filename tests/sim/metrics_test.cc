@@ -1,0 +1,131 @@
+#include "src/sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace coopfs {
+namespace {
+
+SimulationResult MakeResult(std::uint64_t local, std::uint64_t remote, std::uint64_t server,
+                            std::uint64_t disk) {
+  SimulationResult result;
+  result.policy_name = "test";
+  result.level_counts.Add(0, local);
+  result.level_counts.Add(1, remote);
+  result.level_counts.Add(2, server);
+  result.level_counts.Add(3, disk);
+  result.level_time_us[0] = static_cast<double>(local) * 250.0;
+  result.level_time_us[1] = static_cast<double>(remote) * 1250.0;
+  result.level_time_us[2] = static_cast<double>(server) * 1050.0;
+  result.level_time_us[3] = static_cast<double>(disk) * 15'850.0;
+  result.reads = local + remote + server + disk;
+  return result;
+}
+
+TEST(MetricsTest, AverageReadTime) {
+  const SimulationResult result = MakeResult(78, 0, 6, 16);
+  // (78*250 + 6*1050 + 16*15850) / 100 = (19500 + 6300 + 253600)/100.
+  EXPECT_NEAR(result.AverageReadTime(), 2794.0, 0.01);
+}
+
+TEST(MetricsTest, EmptyResultIsZero) {
+  SimulationResult result;
+  EXPECT_DOUBLE_EQ(result.AverageReadTime(), 0.0);
+  EXPECT_DOUBLE_EQ(result.DiskRate(), 0.0);
+}
+
+TEST(MetricsTest, LevelFractions) {
+  const SimulationResult result = MakeResult(50, 25, 15, 10);
+  EXPECT_DOUBLE_EQ(result.LevelFraction(CacheLevel::kLocalMemory), 0.50);
+  EXPECT_DOUBLE_EQ(result.LevelFraction(CacheLevel::kRemoteClient), 0.25);
+  EXPECT_DOUBLE_EQ(result.LocalMissRate(), 0.50);
+  EXPECT_DOUBLE_EQ(result.DiskRate(), 0.10);
+}
+
+TEST(MetricsTest, SpeedupUsesHennessyPattersonConvention) {
+  const SimulationResult slow = MakeResult(0, 0, 0, 100);   // All disk.
+  const SimulationResult fast = MakeResult(100, 0, 0, 0);   // All local.
+  EXPECT_NEAR(fast.SpeedupOver(slow), 15'850.0 / 250.0, 1e-9);
+  EXPECT_NEAR(slow.SpeedupOver(slow), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, PerClientSpeedups) {
+  SimulationResult base = MakeResult(10, 0, 0, 0);
+  base.per_client.resize(2);
+  base.per_client[0] = {4, 4 * 500.0};
+  base.per_client[1] = {6, 6 * 1000.0};
+  SimulationResult mine = base;
+  mine.per_client[0] = {4, 4 * 250.0};   // 2x faster.
+  mine.per_client[1] = {6, 6 * 2000.0};  // 2x slower.
+  const std::vector<double> speedups = mine.PerClientSpeedup(base);
+  ASSERT_EQ(speedups.size(), 2u);
+  EXPECT_NEAR(speedups[0], 2.0, 1e-9);
+  EXPECT_NEAR(speedups[1], 0.5, 1e-9);
+}
+
+TEST(MetricsTest, PerClientSpeedupHandlesIdleClients) {
+  SimulationResult base = MakeResult(1, 0, 0, 0);
+  base.per_client.resize(1);
+  SimulationResult mine = base;
+  const std::vector<double> speedups = mine.PerClientSpeedup(base);
+  ASSERT_EQ(speedups.size(), 1u);
+  EXPECT_DOUBLE_EQ(speedups[0], 1.0);  // No reads either side -> neutral.
+}
+
+TEST(MetricsTest, RelativeServerLoad) {
+  SimulationResult base = MakeResult(1, 0, 0, 0);
+  base.server_load.ChargeDiskHit();  // 6 units.
+  SimulationResult mine = base;
+  mine.server_load.Reset();
+  mine.server_load.ChargeRemoteClientHit();  // 2 units.
+  mine.server_load.ChargeSmallMessages(1);   // 1 unit.
+  EXPECT_DOUBLE_EQ(mine.RelativeServerLoad(base), 0.5);
+}
+
+TEST(StackDeletionTest, MatchesHandComputation) {
+  // Visible: 20 reads, all disk. Hidden local hit rate 80% => 80 inferred
+  // local hits, total 100 reads.
+  const SimulationResult visible = MakeResult(0, 0, 0, 20);
+  const SimulationResult adjusted = ApplyStackDeletion(visible, 0.8, 250.0);
+  EXPECT_EQ(adjusted.reads, 100u);
+  EXPECT_EQ(adjusted.level_counts.Get(0), 80u);
+  // (80*250 + 20*15850)/100 = (20000 + 317000)/100 = 3370.
+  EXPECT_NEAR(adjusted.AverageReadTime(), 3370.0, 0.01);
+}
+
+TEST(StackDeletionTest, ZeroHiddenRateIsIdentity) {
+  const SimulationResult visible = MakeResult(10, 5, 3, 2);
+  const SimulationResult adjusted = ApplyStackDeletion(visible, 0.0, 250.0);
+  EXPECT_EQ(adjusted.reads, visible.reads);
+  EXPECT_NEAR(adjusted.AverageReadTime(), visible.AverageReadTime(), 1e-9);
+}
+
+TEST(StackDeletionTest, AdjustsPerClientProportionally) {
+  SimulationResult visible = MakeResult(0, 0, 0, 10);
+  visible.per_client.resize(1);
+  visible.per_client[0] = {10, 10 * 15'850.0};
+  const SimulationResult adjusted = ApplyStackDeletion(visible, 0.5, 250.0);
+  ASSERT_EQ(adjusted.per_client.size(), 1u);
+  EXPECT_EQ(adjusted.per_client[0].reads, 20u);
+  EXPECT_NEAR(adjusted.per_client[0].AverageReadTime(), (10 * 15'850.0 + 10 * 250.0) / 20.0,
+              0.01);
+}
+
+TEST(StackDeletionTest, HigherHiddenRateShrinksAlgorithmDifferences) {
+  // Paper footnote 4: higher assumed local hit rates compress speedups.
+  const SimulationResult base = MakeResult(0, 0, 0, 20);
+  const SimulationResult coop = MakeResult(0, 15, 0, 5);
+  const double speedup70 = ApplyStackDeletion(coop, 0.7, 250.0)
+                               .SpeedupOver(ApplyStackDeletion(base, 0.7, 250.0));
+  const double speedup90 = ApplyStackDeletion(coop, 0.9, 250.0)
+                               .SpeedupOver(ApplyStackDeletion(base, 0.9, 250.0));
+  EXPECT_GT(speedup70, speedup90);
+  EXPECT_GT(speedup90, 1.0);
+}
+
+TEST(MetricsTest, ToStringContainsPolicyName) {
+  const SimulationResult result = MakeResult(1, 1, 1, 1);
+  EXPECT_NE(result.ToString().find("test"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coopfs

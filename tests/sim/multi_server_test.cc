@@ -1,0 +1,115 @@
+// Tests for the multi-server extension (SimulationConfig::num_servers).
+#include <gtest/gtest.h>
+
+#include "src/core/baseline.h"
+#include "src/core/policy_factory.h"
+#include "src/sim/simulator.h"
+#include "src/sim/validation.h"
+#include "src/trace/workload.h"
+#include "tests/testing/scripted.h"
+
+namespace coopfs {
+namespace {
+
+TEST(MultiServerTest, DefaultIsOneServer) {
+  const SimulationConfig config = TinyConfig(4, 8, 2);
+  SimContext context(config, 2, 4, 8);
+  EXPECT_EQ(context.num_servers(), 1u);
+  EXPECT_EQ(context.ServerFor(123), 0u);
+  EXPECT_EQ(context.server_cache().capacity(), 8u);
+}
+
+TEST(MultiServerTest, MemoryDividedEvenly) {
+  SimulationConfig config = TinyConfig(4, 8, 2);
+  config.num_servers = 4;
+  SimContext context(config, 2, 4, 8);
+  EXPECT_EQ(context.num_servers(), 4u);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(context.server_cache(s).capacity(), 2u);
+  }
+}
+
+TEST(MultiServerTest, FilesStickToTheirServer) {
+  SimulationConfig config = TinyConfig(4, 8, 2);
+  config.num_servers = 3;
+  SimContext context(config, 2, 4, 8);
+  for (FileId file = 0; file < 100; ++file) {
+    const std::uint32_t server = context.ServerFor(file);
+    EXPECT_LT(server, 3u);
+    EXPECT_EQ(context.ServerFor(file), server);  // Deterministic.
+  }
+}
+
+TEST(MultiServerTest, StripingSpreadsFiles) {
+  SimulationConfig config = TinyConfig(4, 8, 2);
+  config.num_servers = 4;
+  SimContext context(config, 2, 4, 8);
+  std::vector<int> counts(4, 0);
+  for (FileId file = 0; file < 400; ++file) {
+    ++counts[context.ServerFor(file)];
+  }
+  for (int count : counts) {
+    EXPECT_GT(count, 50) << "hash striping should be roughly even";
+  }
+}
+
+TEST(MultiServerTest, DiskFetchPopulatesOwningServerOnly) {
+  SimulationConfig config = TinyConfig(4, 8, 1);
+  config.num_servers = 2;
+  TraceBuilder builder;
+  builder.Read(0, 1, 0);
+  Simulator simulator(config, &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    const std::uint32_t owner = context.ServerFor(1);
+    EXPECT_TRUE(context.server_cache(owner).Contains(BlockId{1, 0}));
+    EXPECT_FALSE(context.server_cache(1 - owner).Contains(BlockId{1, 0}));
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(MultiServerTest, SameTotalMemorySimilarResults) {
+  // Striping the same memory across servers shifts per-server hit rates a
+  // little (partition imbalance) but must not change the story.
+  WorkloadConfig workload = SmallTestWorkloadConfig(55);
+  workload.num_events = 10'000;
+  const Trace trace = GenerateWorkload(workload);
+  SimulationConfig one = TinyConfig(16, 64);
+  one.warmup_events = 3000;
+  SimulationConfig four = one;
+  four.num_servers = 4;
+  Simulator sim_one(one, &trace);
+  Simulator sim_four(four, &trace);
+  auto policy_a = MakePolicy(PolicyKind::kNChance);
+  auto policy_b = MakePolicy(PolicyKind::kNChance);
+  const auto result_one = sim_one.Run(*policy_a);
+  const auto result_four = sim_four.Run(*policy_b);
+  ASSERT_TRUE(result_one.ok());
+  ASSERT_TRUE(result_four.ok());
+  EXPECT_NEAR(result_four->AverageReadTime() / result_one->AverageReadTime(), 1.0, 0.15);
+}
+
+class MultiServerConsistency : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MultiServerConsistency, AllPoliciesStayConsistent) {
+  WorkloadConfig workload = SmallTestWorkloadConfig(66);
+  workload.num_events = 6000;
+  const Trace trace = GenerateWorkload(workload);
+  SimulationConfig config = TinyConfig(16, 64);
+  config.num_servers = GetParam();
+  config.warmup_events = 1000;
+  Simulator simulator(config, &trace);
+  for (PolicyKind kind : AllPolicyKinds()) {
+    auto policy = MakePolicy(kind);
+    const auto result = simulator.Run(*policy, [](SimContext& context) {
+      const Status status = CheckCacheDirectoryConsistency(context);
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    });
+    ASSERT_TRUE(result.ok()) << PolicyKindName(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ServerCounts, MultiServerConsistency, ::testing::Values(1u, 2u, 5u));
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,133 @@
+// Tests the PolicyBase shared machinery (write-through + write-invalidate,
+// whole-file delete, read-attribute refresh) through the baseline policy.
+#include <gtest/gtest.h>
+
+#include "src/core/baseline.h"
+#include "src/sim/simulator.h"
+#include "src/sim/validation.h"
+#include "tests/testing/scripted.h"
+
+namespace coopfs {
+namespace {
+
+TEST(PolicyBaseTest, WriteInvalidatesOtherClientCopies) {
+  // Both clients cache f1:b0; client 1's write must kill client 0's copy.
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(1, 1, 0).Write(1, 1, 0);
+  Simulator simulator(TinyConfig(4, 4), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_FALSE(context.client_cache(0).Contains(BlockId{1, 0}));
+    EXPECT_TRUE(context.client_cache(1).Contains(BlockId{1, 0}));
+    EXPECT_EQ(context.directory().HolderCount(BlockId{1, 0}), 1u);
+    EXPECT_TRUE(CheckCacheDirectoryConsistency(context).ok());
+  });
+  ASSERT_TRUE(result.ok());
+  // One invalidation message charged ("Other" load).
+  EXPECT_EQ(result->server_load.Units(ServerLoadKind::kOther), 1u);
+}
+
+TEST(PolicyBaseTest, WriteThroughPopulatesServerCache) {
+  TraceBuilder builder;
+  builder.Write(0, 5, 2);
+  Simulator simulator(TinyConfig(4, 4), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_TRUE(context.server_cache().Contains(BlockId{5, 2}));
+    EXPECT_TRUE(context.client_cache(0).Contains(BlockId{5, 2}));
+  });
+  ASSERT_TRUE(result.ok());
+  // After the write, a read by the writer is a local hit.
+  EXPECT_EQ(result->reads, 0u);
+}
+
+TEST(PolicyBaseTest, WriteMakesSubsequentReadLocal) {
+  TraceBuilder builder;
+  builder.Write(0, 5, 2).Read(0, 5, 2);
+  Simulator simulator(TinyConfig(4, 4), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->level_counts.Get(static_cast<std::size_t>(CacheLevel::kLocalMemory)), 1u);
+}
+
+TEST(PolicyBaseTest, DeletePurgesEverywhere) {
+  TraceBuilder builder;
+  builder.Read(0, 7, 0).Read(0, 7, 1).Read(1, 7, 0).Delete(2, 7);
+  Simulator simulator(TinyConfig(4, 8), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_FALSE(context.client_cache(0).Contains(BlockId{7, 0}));
+    EXPECT_FALSE(context.client_cache(0).Contains(BlockId{7, 1}));
+    EXPECT_FALSE(context.client_cache(1).Contains(BlockId{7, 0}));
+    EXPECT_FALSE(context.server_cache().Contains(BlockId{7, 0}));
+    EXPECT_EQ(context.directory().HolderCount(BlockId{7, 0}), 0u);
+    EXPECT_TRUE(CheckCacheDirectoryConsistency(context).ok());
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(PolicyBaseTest, DeleteOfUnknownFileIsNoOp) {
+  TraceBuilder builder;
+  builder.Delete(0, 99).Read(0, 1, 0);
+  Simulator simulator(TinyConfig(4, 4), &builder.Build());
+  BaselinePolicy policy;
+  EXPECT_TRUE(simulator.Run(policy).ok());
+}
+
+TEST(PolicyBaseTest, ReadAttrRefreshesLruPosition) {
+  // Client 0 caches f1:b0 then f2:b0 and f3:b0 (capacity 3). An attr on
+  // file 1 renews its block, so inserting f4:b0 evicts f2:b0 instead.
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0).Read(0, 3, 0).Attr(0, 1).Read(0, 4, 0).Read(0, 1, 0);
+  Simulator simulator(TinyConfig(3, 8), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_TRUE(context.client_cache(0).Contains(BlockId{1, 0}));
+    EXPECT_FALSE(context.client_cache(0).Contains(BlockId{2, 0}));
+  });
+  ASSERT_TRUE(result.ok());
+  // Final read of f1:b0 is a local hit thanks to the attr refresh.
+  EXPECT_EQ(result->level_counts.Get(static_cast<std::size_t>(CacheLevel::kLocalMemory)), 1u);
+}
+
+TEST(PolicyBaseTest, LruEvictionDropsOldest) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0).Read(0, 3, 0);  // Capacity 2: f1 evicted.
+  Simulator simulator(TinyConfig(2, 8), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_FALSE(context.client_cache(0).Contains(BlockId{1, 0}));
+    EXPECT_TRUE(context.client_cache(0).Contains(BlockId{2, 0}));
+    EXPECT_TRUE(context.client_cache(0).Contains(BlockId{3, 0}));
+    EXPECT_EQ(context.directory().HolderCount(BlockId{1, 0}), 0u);
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(PolicyBaseTest, ServerCacheEvictsLru) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0).Read(0, 3, 0);
+  Simulator simulator(TinyConfig(8, 2), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_FALSE(context.server_cache().Contains(BlockId{1, 0}));
+    EXPECT_TRUE(context.server_cache().Contains(BlockId{2, 0}));
+    EXPECT_TRUE(context.server_cache().Contains(BlockId{3, 0}));
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(PolicyBaseTest, ZeroCapacityClientCacheStillWorks) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 1, 0);
+  Simulator simulator(TinyConfig(0, 4), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  // No local cache: second read hits server memory.
+  EXPECT_EQ(result->level_counts.Get(static_cast<std::size_t>(CacheLevel::kServerMemory)), 1u);
+}
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,79 @@
+#include "src/sim/queueing.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace coopfs {
+namespace {
+
+SimulationResult MakeResult(std::uint64_t local, std::uint64_t disk, std::uint64_t load_units) {
+  SimulationResult result;
+  result.level_counts.Add(0, local);
+  result.level_counts.Add(3, disk);
+  result.level_time_us[0] = static_cast<double>(local) * 250.0;
+  result.level_time_us[3] = static_cast<double>(disk) * 15'850.0;
+  result.reads = local + disk;
+  result.server_load.ChargeSmallMessages(load_units);
+  return result;
+}
+
+TEST(QueueingTest, InflationFormula) {
+  EXPECT_DOUBLE_EQ(Mm1Inflation(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Mm1Inflation(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(Mm1Inflation(0.9), 10.0);
+  EXPECT_TRUE(std::isinf(Mm1Inflation(1.0)));
+  EXPECT_DOUBLE_EQ(Mm1Inflation(-0.5), 1.0);
+}
+
+TEST(QueueingTest, OfferedLoadRate) {
+  const SimulationResult result = MakeResult(0, 0, 500);
+  EXPECT_DOUBLE_EQ(OfferedLoadUnitsPerSecond(result, 10.0), 50.0);
+  EXPECT_DOUBLE_EQ(OfferedLoadUnitsPerSecond(result, 0.0), 0.0);
+}
+
+TEST(QueueingTest, RejectsBadInputs) {
+  const SimulationResult result = MakeResult(1, 1, 10);
+  EXPECT_FALSE(ApplyServerQueueing(result, 0.0, 10.0).ok());
+  EXPECT_FALSE(ApplyServerQueueing(result, 10.0, 0.0).ok());
+  EXPECT_FALSE(ApplyServerQueueing(result, -1.0, 10.0).ok());
+}
+
+TEST(QueueingTest, GenerousCapacityBarelyChangesLatency) {
+  const SimulationResult result = MakeResult(50, 50, 100);
+  const auto adjusted = ApplyServerQueueing(result, 10.0, 1'000'000.0);
+  ASSERT_TRUE(adjusted.ok());
+  EXPECT_FALSE(adjusted->saturated);
+  EXPECT_NEAR(adjusted->adjusted_read_time, result.AverageReadTime(),
+              result.AverageReadTime() * 0.001);
+}
+
+TEST(QueueingTest, HalfUtilizationDoublesServerTime) {
+  const SimulationResult result = MakeResult(50, 50, 100);
+  // Offered: 10 units/s; capacity 20 => rho = 0.5 => inflation 2.
+  const auto adjusted = ApplyServerQueueing(result, 10.0, 20.0);
+  ASSERT_TRUE(adjusted.ok());
+  EXPECT_NEAR(adjusted->utilization, 0.5, 1e-12);
+  const double reads = 100.0;
+  const double local = 50.0 * 250.0 / reads;
+  const double server = result.AverageReadTime() - local;
+  EXPECT_NEAR(adjusted->adjusted_read_time, local + 2.0 * server, 1e-9);
+}
+
+TEST(QueueingTest, SaturationDetected) {
+  const SimulationResult result = MakeResult(1, 1, 1000);
+  const auto adjusted = ApplyServerQueueing(result, 1.0, 500.0);  // rho = 2.
+  ASSERT_TRUE(adjusted.ok());
+  EXPECT_TRUE(adjusted->saturated);
+  EXPECT_TRUE(std::isinf(adjusted->adjusted_read_time));
+}
+
+TEST(QueueingTest, LocalOnlyWorkloadUnaffected) {
+  const SimulationResult result = MakeResult(100, 0, 10);
+  const auto adjusted = ApplyServerQueueing(result, 10.0, 2.0);  // rho = 0.5.
+  ASSERT_TRUE(adjusted.ok());
+  EXPECT_NEAR(adjusted->adjusted_read_time, 250.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,148 @@
+// Tests for the client-reboot (churn) extension.
+#include <gtest/gtest.h>
+
+#include "src/core/central_coord.h"
+#include "src/core/direct_coop.h"
+#include "src/core/hash_distributed.h"
+#include "src/core/nchance.h"
+#include "src/core/policy_factory.h"
+#include "src/sim/simulator.h"
+#include "src/sim/validation.h"
+#include "src/trace/trace_stats.h"
+#include "src/trace/workload.h"
+#include "tests/testing/scripted.h"
+
+namespace coopfs {
+namespace {
+
+Trace WithReboot(TraceBuilder& builder, ClientId client) {
+  Trace trace = builder.Build();
+  TraceEvent reboot;
+  reboot.timestamp = trace.empty() ? 0 : trace.back().timestamp + 1000;
+  reboot.client = client;
+  reboot.type = EventType::kReboot;
+  trace.push_back(reboot);
+  return trace;
+}
+
+TEST(RebootTest, PurgesLocalCacheAndDirectory) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0);
+  const Trace trace = WithReboot(builder, 0);
+  Simulator simulator(TinyConfig(4, 8, 2), &trace);
+  NChancePolicy policy(2);
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_EQ(context.client_cache(0).size(), 0u);
+    EXPECT_EQ(context.directory().HolderCount(BlockId{1, 0}), 0u);
+    EXPECT_EQ(context.directory().HolderCount(BlockId{2, 0}), 0u);
+    EXPECT_TRUE(CheckCacheDirectoryConsistency(context).ok());
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(RebootTest, OtherClientsUnaffected) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(1, 2, 0);
+  const Trace trace = WithReboot(builder, 0);
+  Simulator simulator(TinyConfig(4, 8, 2), &trace);
+  NChancePolicy policy(2);
+  const auto result = simulator.Run(policy, [](SimContext& context) {
+    EXPECT_TRUE(context.client_cache(1).Contains(BlockId{2, 0}));
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(RebootTest, DirectCoopLosesPrivateRemoteCache) {
+  // Client 0 spills f1 to its private remote cache, then reboots: the
+  // re-read must miss the remote cache (server cap 1 holds f2).
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0);
+  Trace trace = WithReboot(builder, 0);
+  TraceEvent read;
+  read.timestamp = trace.back().timestamp + 1000;
+  read.client = 0;
+  read.type = EventType::kRead;
+  read.block = BlockId{1, 0};
+  trace.push_back(read);
+  Simulator simulator(TinyConfig(1, 1, 2), &trace);
+  DirectCoopPolicy policy(4);
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->level_counts.Get(static_cast<std::size_t>(CacheLevel::kRemoteClient)), 0u);
+  EXPECT_EQ(result->level_counts.Get(static_cast<std::size_t>(CacheLevel::kServerDisk)), 3u);
+}
+
+TEST(RebootTest, CentralLosesHostedGlobalEntries) {
+  // With one client, every globally managed entry is hosted by client 0;
+  // its reboot empties the global cache, so the re-read goes to disk.
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0);  // Server cap 1: f1 -> global cache.
+  Trace trace = WithReboot(builder, 0);
+  TraceEvent read;
+  read.timestamp = trace.back().timestamp + 1000;
+  read.client = 0;
+  read.type = EventType::kRead;
+  read.block = BlockId{1, 0};
+  trace.push_back(read);
+  Simulator simulator(TinyConfig(10, 1, 1), &trace);
+  CentralCoordPolicy policy(0.8);
+  const auto result = simulator.Run(policy, [&policy](SimContext&) {
+    EXPECT_FALSE(policy.GlobalCacheContains(BlockId{1, 0}));
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->level_counts.Get(static_cast<std::size_t>(CacheLevel::kRemoteClient)), 0u);
+}
+
+TEST(RebootTest, HashPartitionCleared) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 2, 0);  // Server cap 1: f1 -> its partition.
+  const Trace trace = WithReboot(builder, 0);  // Single client: partition 0.
+  Simulator simulator(TinyConfig(10, 1, 1), &trace);
+  HashDistributedPolicy policy(0.8);
+  const auto result = simulator.Run(policy, [&policy](SimContext&) {
+    EXPECT_FALSE(policy.PartitionContains(BlockId{1, 0}));
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(RebootWorkloadTest, GeneratorEmitsRequestedChurn) {
+  WorkloadConfig config = SmallTestWorkloadConfig(9);
+  config.num_events = 30'000;
+  config.mean_reboots_per_client = 3.0;
+  const TraceStats stats = ComputeTraceStats(GenerateWorkload(config));
+  // Expected total: 3 per client x 6 clients = 18; allow generous slack.
+  EXPECT_GT(stats.num_reboots, 5u);
+  EXPECT_LT(stats.num_reboots, 60u);
+}
+
+TEST(RebootWorkloadTest, ZeroChurnByDefault) {
+  const TraceStats stats =
+      ComputeTraceStats(GenerateWorkload(SmallTestWorkloadConfig(9)));
+  EXPECT_EQ(stats.num_reboots, 0u);
+}
+
+class ChurnConsistencyProperty : public ::testing::TestWithParam<PolicyKind> {};
+
+// Every policy must stay structurally consistent under heavy churn.
+TEST_P(ChurnConsistencyProperty, InvariantsHoldUnderChurn) {
+  WorkloadConfig workload = SmallTestWorkloadConfig(13);
+  workload.num_events = 10'000;
+  workload.mean_reboots_per_client = 5.0;
+  const Trace trace = GenerateWorkload(workload);
+  SimulationConfig config = TinyConfig(16, 32);
+  config.warmup_events = 2000;
+  Simulator simulator(config, &trace);
+  auto policy = MakePolicy(GetParam());
+  const auto result = simulator.Run(*policy, [](SimContext& context) {
+    const Status status = CheckCacheDirectoryConsistency(context);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  });
+  ASSERT_TRUE(result.ok()) << PolicyKindName(GetParam());
+  EXPECT_EQ(result->level_counts.Total(), result->reads);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ChurnConsistencyProperty,
+                         ::testing::ValuesIn(AllPolicyKinds()));
+
+}  // namespace
+}  // namespace coopfs

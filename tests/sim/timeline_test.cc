@@ -1,0 +1,86 @@
+// Tests for the timeline (time-series metrics) facility.
+#include <gtest/gtest.h>
+
+#include "src/core/baseline.h"
+#include "src/core/nchance.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload.h"
+#include "tests/testing/scripted.h"
+
+namespace coopfs {
+namespace {
+
+TEST(TimelineTest, DisabledByDefault) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 1, 0);
+  Simulator simulator(TinyConfig(4, 4), &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->timeline.empty());
+}
+
+TEST(TimelineTest, BucketsScriptedReads) {
+  // Events are spaced 1000 us apart; a 2500 us interval puts reads 0-2 in
+  // the first bucket (timestamps 0,1000,2000) and reads 3-4 in the second.
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 1, 0).Read(0, 1, 0).Read(0, 2, 0).Read(0, 2, 0);
+  SimulationConfig config = TinyConfig(4, 4);
+  config.timeline_interval = 2500;
+  Simulator simulator(config, &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->timeline.size(), 2u);
+  EXPECT_EQ(result->timeline[0].reads, 3u);
+  EXPECT_EQ(result->timeline[1].reads, 2u);
+  EXPECT_LT(result->timeline[0].end_time, result->timeline[1].end_time);
+  // First bucket: disk + 2 local hits.
+  EXPECT_NEAR(result->timeline[0].avg_read_time_us, (15'850.0 + 250.0 + 250.0) / 3.0, 1e-9);
+  EXPECT_NEAR(result->timeline[0].disk_rate, 1.0 / 3.0, 1e-12);
+}
+
+TEST(TimelineTest, BucketsSumToTotals) {
+  WorkloadConfig workload = SmallTestWorkloadConfig(21);
+  workload.num_events = 8000;
+  const Trace trace = GenerateWorkload(workload);
+  SimulationConfig config = TinyConfig(32, 64);
+  config.warmup_events = 2000;
+  config.timeline_interval = workload.duration / 50;
+  Simulator simulator(config, &trace);
+  NChancePolicy policy(2);
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->timeline.empty());
+  std::uint64_t reads = 0;
+  double time = 0.0;
+  Micros last_end = 0;
+  for (const auto& point : result->timeline) {
+    EXPECT_GT(point.end_time, last_end);
+    last_end = point.end_time;
+    reads += point.reads;
+    time += point.avg_read_time_us * static_cast<double>(point.reads);
+  }
+  EXPECT_EQ(reads, result->reads);
+  EXPECT_NEAR(time / static_cast<double>(reads), result->AverageReadTime(), 1e-6);
+}
+
+TEST(TimelineTest, WarmupExcludedFromTimeline) {
+  TraceBuilder builder;
+  builder.Read(0, 1, 0).Read(0, 1, 0).Read(0, 1, 0);
+  SimulationConfig config = TinyConfig(4, 4);
+  config.warmup_events = 2;
+  config.timeline_interval = 500;
+  Simulator simulator(config, &builder.Build());
+  BaselinePolicy policy;
+  const auto result = simulator.Run(policy);
+  ASSERT_TRUE(result.ok());
+  std::uint64_t reads = 0;
+  for (const auto& point : result->timeline) {
+    reads += point.reads;
+  }
+  EXPECT_EQ(reads, 1u);
+}
+
+}  // namespace
+}  // namespace coopfs

@@ -1,0 +1,58 @@
+// Shared helpers for hand-scripted simulation tests.
+#ifndef COOPFS_TESTS_TESTING_SCRIPTED_H_
+#define COOPFS_TESTS_TESTING_SCRIPTED_H_
+
+#include "src/sim/config.h"
+#include "src/trace/event.h"
+
+namespace coopfs {
+
+// Builds a time-ordered trace from terse Read/Write/Delete calls.
+class TraceBuilder {
+ public:
+  TraceBuilder& Read(ClientId client, FileId file, BlockIndex block = 0) {
+    return Push(client, EventType::kRead, file, block);
+  }
+  TraceBuilder& Write(ClientId client, FileId file, BlockIndex block = 0) {
+    return Push(client, EventType::kWrite, file, block);
+  }
+  TraceBuilder& Delete(ClientId client, FileId file) {
+    return Push(client, EventType::kDelete, file, 0);
+  }
+  TraceBuilder& Attr(ClientId client, FileId file) {
+    return Push(client, EventType::kReadAttr, file, 0);
+  }
+
+  const Trace& Build() const { return trace_; }
+
+ private:
+  TraceBuilder& Push(ClientId client, EventType type, FileId file, BlockIndex block) {
+    TraceEvent event;
+    event.timestamp = clock_;
+    clock_ += 1000;
+    event.client = client;
+    event.type = type;
+    event.block = BlockId{file, block};
+    trace_.push_back(event);
+    return *this;
+  }
+
+  Micros clock_ = 0;
+  Trace trace_;
+};
+
+// A configuration with block-denominated cache sizes and no warm-up, for
+// scripted tests that assert exact outcomes.
+inline SimulationConfig TinyConfig(std::size_t client_blocks, std::size_t server_blocks,
+                                   std::uint32_t num_clients = 0) {
+  SimulationConfig config;
+  config.client_cache_blocks = client_blocks;
+  config.server_cache_blocks = server_blocks;
+  config.num_clients = num_clients;
+  config.warmup_events = 0;
+  return config;
+}
+
+}  // namespace coopfs
+
+#endif  // COOPFS_TESTS_TESTING_SCRIPTED_H_

@@ -1,0 +1,160 @@
+#include "src/trace/trace_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace coopfs {
+namespace {
+
+Trace MakeSampleTrace() {
+  Trace trace;
+  trace.push_back({0, {1, 0}, 0, EventType::kRead});
+  trace.push_back({100, {1, 1}, 2, EventType::kWrite});
+  trace.push_back({250, {1, 0}, 0, EventType::kDelete});
+  trace.push_back({900, {3, 7}, 1, EventType::kReadAttr});
+  return trace;
+}
+
+TEST(TraceIoTest, TextRoundTrip) {
+  const Trace original = MakeSampleTrace();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteTraceText(original, stream).ok());
+  const Result<Trace> loaded = ReadTrace(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, original);
+}
+
+TEST(TraceIoTest, BinaryRoundTrip) {
+  const Trace original = MakeSampleTrace();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteTraceBinary(original, stream).ok());
+  const Result<Trace> loaded = ReadTrace(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, original);
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTripsBothFormats) {
+  for (const bool binary : {false, true}) {
+    std::stringstream stream;
+    ASSERT_TRUE((binary ? WriteTraceBinary(Trace{}, stream) : WriteTraceText(Trace{}, stream))
+                    .ok());
+    const Result<Trace> loaded = ReadTrace(stream);
+    // An empty text file body still has a header; a short stream errors out
+    // only if even the magic is missing.
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_TRUE(loaded->empty());
+  }
+}
+
+TEST(TraceIoTest, ParseLineAcceptsAllTypes) {
+  for (const char* op : {"read", "write", "delete", "attr", "reboot"}) {
+    const Result<TraceEvent> event = ParseTraceLine(std::string("5 1 ") + op + " 2 3");
+    ASSERT_TRUE(event.ok()) << op;
+    EXPECT_EQ(event->timestamp, 5);
+    EXPECT_EQ(event->client, 1u);
+    EXPECT_EQ(event->block, (BlockId{2, 3}));
+  }
+}
+
+TEST(TraceIoTest, ParseLineSkipsCommentsAndBlanks) {
+  EXPECT_EQ(ParseTraceLine("# comment").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ParseTraceLine("").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TraceIoTest, ParseLineRejectsMalformed) {
+  EXPECT_EQ(ParseTraceLine("garbage").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTraceLine("5 1 read 2").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTraceLine("5 1 frobnicate 2 3").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTraceLine("-5 1 read 2 3").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TraceIoTest, TextReaderRejectsTimeTravel) {
+  std::stringstream stream;
+  stream << "100 0 read 1 0\n50 0 read 1 1\n";
+  const Result<Trace> loaded = ReadTrace(stream);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TraceIoTest, BinaryReaderDetectsTruncation) {
+  const Trace original = MakeSampleTrace();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteTraceBinary(original, stream).ok());
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() - 5);  // Chop the last record.
+  std::stringstream truncated(bytes);
+  const Result<Trace> loaded = ReadTrace(truncated);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(TraceIoTest, BinaryReaderRejectsBadEventType) {
+  Trace one;
+  one.push_back({0, {1, 0}, 0, EventType::kRead});
+  std::stringstream stream;
+  ASSERT_TRUE(WriteTraceBinary(one, stream).ok());
+  std::string bytes = stream.str();
+  bytes[bytes.size() - 1] = 99;  // Corrupt the type byte of the only record.
+  std::stringstream corrupted(bytes);
+  const Result<Trace> loaded = ReadTrace(corrupted);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(TraceIoTest, ReadRejectsTinyStream) {
+  std::stringstream stream("abc");
+  EXPECT_EQ(ReadTrace(stream).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const Trace original = MakeSampleTrace();
+  const std::string text_path = ::testing::TempDir() + "/coopfs_trace_test.txt";
+  const std::string bin_path = ::testing::TempDir() + "/coopfs_trace_test.bin";
+  ASSERT_TRUE(WriteTraceTextFile(original, text_path).ok());
+  ASSERT_TRUE(WriteTraceBinaryFile(original, bin_path).ok());
+  const Result<Trace> text_loaded = ReadTraceFile(text_path);
+  const Result<Trace> bin_loaded = ReadTraceFile(bin_path);
+  ASSERT_TRUE(text_loaded.ok());
+  ASSERT_TRUE(bin_loaded.ok());
+  EXPECT_EQ(*text_loaded, original);
+  EXPECT_EQ(*bin_loaded, original);
+}
+
+TEST(TraceIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadTraceFile("/nonexistent/coopfs.trace").status().code(), StatusCode::kIoError);
+}
+
+class TraceIoRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: random traces round-trip bit-exactly through both formats.
+TEST_P(TraceIoRoundTripProperty, RandomTracesRoundTrip) {
+  Rng rng(GetParam());
+  Trace trace;
+  Micros clock = 0;
+  for (int i = 0; i < 500; ++i) {
+    clock += static_cast<Micros>(rng.NextBelow(10'000));
+    TraceEvent event;
+    event.timestamp = clock;
+    event.client = static_cast<ClientId>(rng.NextBelow(64));
+    event.type = static_cast<EventType>(rng.NextBelow(kMaxEventType + 1));
+    event.block = BlockId{static_cast<FileId>(rng.NextBelow(1000)),
+                          static_cast<BlockIndex>(rng.NextBelow(100))};
+    trace.push_back(event);
+  }
+  for (const bool binary : {false, true}) {
+    std::stringstream stream;
+    ASSERT_TRUE((binary ? WriteTraceBinary(trace, stream) : WriteTraceText(trace, stream)).ok());
+    const Result<Trace> loaded = ReadTrace(stream);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(*loaded, trace) << (binary ? "binary" : "text");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceIoRoundTripProperty,
+                         ::testing::Values(1ull, 2ull, 42ull, 1994ull));
+
+}  // namespace
+}  // namespace coopfs

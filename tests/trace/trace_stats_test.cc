@@ -1,0 +1,65 @@
+#include "src/trace/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace coopfs {
+namespace {
+
+TEST(TraceStatsTest, EmptyTrace) {
+  const TraceStats stats = ComputeTraceStats({});
+  EXPECT_EQ(stats.num_events, 0u);
+  EXPECT_EQ(stats.num_clients, 0u);
+  EXPECT_EQ(stats.duration, 0);
+  EXPECT_EQ(stats.FootprintBytes(), 0u);
+}
+
+TEST(TraceStatsTest, CountsByType) {
+  Trace trace;
+  trace.push_back({0, {1, 0}, 0, EventType::kRead});
+  trace.push_back({10, {1, 0}, 1, EventType::kRead});
+  trace.push_back({20, {1, 1}, 0, EventType::kWrite});
+  trace.push_back({30, {2, 0}, 0, EventType::kDelete});
+  trace.push_back({40, {3, 0}, 2, EventType::kReadAttr});
+  trace.push_back({50, {0, 0}, 1, EventType::kReboot});
+  const TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_EQ(stats.num_events, 6u);
+  EXPECT_EQ(stats.num_reads, 2u);
+  EXPECT_EQ(stats.num_writes, 1u);
+  EXPECT_EQ(stats.num_deletes, 1u);
+  EXPECT_EQ(stats.num_attrs, 1u);
+  EXPECT_EQ(stats.num_reboots, 1u);
+  EXPECT_EQ(stats.num_clients, 3u);
+  EXPECT_EQ(stats.duration, 50);
+}
+
+TEST(TraceStatsTest, UniqueBlockAccounting) {
+  Trace trace;
+  trace.push_back({0, {1, 0}, 0, EventType::kRead});
+  trace.push_back({1, {1, 0}, 1, EventType::kRead});   // Same block again.
+  trace.push_back({2, {1, 1}, 0, EventType::kWrite});  // Write-only block.
+  const TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_EQ(stats.unique_blocks, 2u);
+  EXPECT_EQ(stats.unique_read_blocks, 1u);
+  EXPECT_EQ(stats.unique_files, 1u);
+  EXPECT_EQ(stats.FootprintBytes(), 2 * kBlockSizeBytes);
+}
+
+TEST(TraceStatsTest, PerClientReads) {
+  Trace trace;
+  trace.push_back({0, {1, 0}, 0, EventType::kRead});
+  trace.push_back({1, {1, 1}, 0, EventType::kRead});
+  trace.push_back({2, {1, 2}, 1, EventType::kRead});
+  const TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_EQ(stats.reads_per_client.at(0), 2u);
+  EXPECT_EQ(stats.reads_per_client.at(1), 1u);
+}
+
+TEST(TraceStatsTest, ToStringMentionsCounts) {
+  Trace trace;
+  trace.push_back({0, {1, 0}, 0, EventType::kRead});
+  const std::string text = ComputeTraceStats(trace).ToString();
+  EXPECT_NE(text.find("reads 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coopfs

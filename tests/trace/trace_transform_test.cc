@@ -1,0 +1,96 @@
+#include "src/trace/trace_transform.h"
+
+#include <gtest/gtest.h>
+
+namespace coopfs {
+namespace {
+
+TraceEvent E(Micros t, ClientId c, FileId f, EventType type = EventType::kRead) {
+  TraceEvent event;
+  event.timestamp = t;
+  event.client = c;
+  event.type = type;
+  event.block = BlockId{f, 0};
+  return event;
+}
+
+Trace Sample() {
+  return {E(0, 0, 1), E(100, 1, 2), E(200, 0, 3), E(300, 2, 1), E(400, 1, 4)};
+}
+
+TEST(TraceTransformTest, FilterByPredicate) {
+  const Trace out = FilterTrace(Sample(), [](const TraceEvent& event) {
+    return event.block.file == 1;
+  });
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].timestamp, 0);
+  EXPECT_EQ(out[1].timestamp, 300);
+}
+
+TEST(TraceTransformTest, FilterToClients) {
+  const Trace out = FilterTraceToClients(Sample(), {0, 2});
+  ASSERT_EQ(out.size(), 3u);
+  for (const TraceEvent& event : out) {
+    EXPECT_TRUE(event.client == 0 || event.client == 2);
+  }
+}
+
+TEST(TraceTransformTest, SliceByTimeIsHalfOpen) {
+  const Trace out = SliceTraceByTime(Sample(), 100, 300);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.front().timestamp, 100);
+  EXPECT_EQ(out.back().timestamp, 200);
+}
+
+TEST(TraceTransformTest, HeadClampsToSize) {
+  EXPECT_EQ(TraceHead(Sample(), 2).size(), 2u);
+  EXPECT_EQ(TraceHead(Sample(), 99).size(), 5u);
+  EXPECT_TRUE(TraceHead(Sample(), 0).empty());
+}
+
+TEST(TraceTransformTest, CompactClientIdsRenumbersDensely) {
+  Trace sparse = {E(0, 40, 1), E(1, 7, 2), E(2, 40, 3), E(3, 99, 4)};
+  const Trace out = CompactClientIds(sparse);
+  EXPECT_EQ(out[0].client, 0u);  // 40 -> 0 (first seen).
+  EXPECT_EQ(out[1].client, 1u);  // 7 -> 1.
+  EXPECT_EQ(out[2].client, 0u);  // 40 again.
+  EXPECT_EQ(out[3].client, 2u);  // 99 -> 2.
+}
+
+TEST(TraceTransformTest, MergePreservesTimeOrderAndOffsetsClients) {
+  Trace a = {E(0, 0, 1), E(200, 0, 2)};
+  Trace b = {E(100, 0, 3), E(300, 1, 4)};
+  const Trace merged = MergeTraces(a, b, 10);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_TRUE(ValidateTrace(merged).ok());
+  EXPECT_EQ(merged[1].client, 10u);  // b's client 0 offset to 10.
+  EXPECT_EQ(merged[3].client, 11u);
+}
+
+TEST(TraceTransformTest, MergeWithEmpty) {
+  const Trace a = Sample();
+  EXPECT_EQ(MergeTraces(a, {}, 0), a);
+  EXPECT_EQ(MergeTraces({}, a, 0), a);
+}
+
+TEST(TraceTransformTest, ValidateCatchesTimeTravel) {
+  Trace bad = {E(100, 0, 1), E(50, 0, 2)};
+  EXPECT_EQ(ValidateTrace(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TraceTransformTest, ValidateCatchesClientOutOfRange) {
+  Trace bad = {E(0, 7, 1)};
+  EXPECT_EQ(ValidateTrace(bad, 4).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(ValidateTrace(bad, 8).ok());
+  EXPECT_TRUE(ValidateTrace(bad).ok());  // 0 = unbounded.
+}
+
+TEST(TraceTransformTest, SliceThenCompactComposes) {
+  const Trace out = CompactClientIds(SliceTraceByTime(Sample(), 300, 500));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].client, 0u);
+  EXPECT_EQ(out[1].client, 1u);
+}
+
+}  // namespace
+}  // namespace coopfs
