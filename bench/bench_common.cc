@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "src/common/format.h"
+#include "src/obs/metrics_exporter.h"
 #include "src/trace/trace_stats.h"
 
 namespace coopfs {
@@ -20,6 +21,8 @@ BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
       options.seed = std::strtoull(argv[i + 1], nullptr, 10);
     } else if (std::strcmp(argv[i], "--auspex-events") == 0) {
       options.auspex_events = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      options.json_out = argv[i + 1];
     }
   }
   // Environment override so `for b in bench/*; do $b; done` can be scaled.
@@ -103,6 +106,25 @@ void PrintBanner(const std::string& figure, const std::string& what, const Bench
               static_cast<unsigned long long>(options.WarmupFor(trace_events)));
   std::printf("config: 16 MB/client, 128 MB server, 8 KB blocks, ATM timing "
               "(250/200/400 us, 14.8 ms disk)\n\n");
+}
+
+void MaybeWriteJson(const BenchOptions& options, const SimulationConfig& config,
+                    const std::vector<SimulationResult>& results) {
+  if (options.json_out.empty()) {
+    return;
+  }
+  MetricsExporter exporter;
+  exporter.SetConfig(config);
+  for (const SimulationResult& result : results) {
+    exporter.AddResult(result);
+  }
+  if (Status status = exporter.WriteFile(options.json_out); !status.ok()) {
+    std::fprintf(stderr, "metrics export to %s failed: %s\n", options.json_out.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("wrote metrics document: %s (%zu results)\n", options.json_out.c_str(),
+              results.size());
 }
 
 std::vector<std::string> ResultRow(const SimulationResult& result,

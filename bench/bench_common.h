@@ -3,8 +3,9 @@
 // Every fig*/sec* binary replays the same synthetic Sprite-like workload
 // (the paper's traces 5-6 substitute; see DESIGN.md) under the paper's §4.1
 // default configuration, varying one dimension. Common flags:
-//   --events N   trace length (default 700,000 as in the paper)
-//   --seed S     workload seed (default 42)
+//   --events N     trace length (default 700,000 as in the paper)
+//   --seed S       workload seed (default 42)
+//   --json PATH    also export the runs as a coopfs.metrics/v1 document
 // Warm-up is scaled as in the paper: the first 4/7 of the trace (400k of
 // 700k accesses).
 #ifndef COOPFS_BENCH_BENCH_COMMON_H_
@@ -25,6 +26,7 @@ struct BenchOptions {
   std::uint64_t events = 700'000;
   std::uint64_t seed = 42;
   std::uint64_t auspex_events = 5'000'000;
+  std::string json_out;  // --json PATH: empty = no structured export.
 
   static BenchOptions FromArgs(int argc, char** argv);
 
@@ -55,6 +57,12 @@ void PrintBanner(const std::string& figure, const std::string& what, const Bench
 // fractions") used by several figures.
 std::vector<std::string> ResultRow(const SimulationResult& result,
                                    const SimulationResult& baseline);
+
+// If --json was given, exports `results` (with `config` embedded) as a
+// validated coopfs.metrics/v1 document to that path; aborts on I/O or
+// validation failure so a bad export can never pass silently.
+void MaybeWriteJson(const BenchOptions& options, const SimulationConfig& config,
+                    const std::vector<SimulationResult>& results);
 
 }  // namespace coopfs
 

@@ -35,5 +35,6 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.ToString().c_str());
   std::printf("paper reported speedups: Direct 1.05x, Greedy 1.22x, Central 1.64x, "
               "N-Chance 1.73x (both coordinated algorithms within 10%% of best case)\n");
+  MaybeWriteJson(options, config, results);
   return 0;
 }

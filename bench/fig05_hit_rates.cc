@@ -17,8 +17,10 @@ int main(int argc, char** argv) {
   Simulator simulator(config, &trace);
   TableFormatter table({"Algorithm", "Local miss", "Remote Client", "Server Mem", "Server Disk",
                         "Combined-mem miss"});
+  std::vector<SimulationResult> results;
   for (PolicyKind kind : Figure4PolicyKinds()) {
-    const SimulationResult result = MustRun(simulator, kind);
+    results.push_back(MustRun(simulator, kind));
+    const SimulationResult& result = results.back();
     const double remote = result.LevelFraction(CacheLevel::kRemoteClient);
     const double disk = result.DiskRate();
     table.AddRow({result.policy_name, FormatPercent(result.LocalMissRate()),
@@ -29,5 +31,6 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.ToString().c_str());
   std::printf("paper reported: local miss 22%% (base/greedy/best) / 36%% (central) / 23%% "
               "(N-Chance); disk 15.7%% base -> 7.6-7.7%% coordinated\n");
+  MaybeWriteJson(options, config, results);
   return 0;
 }

@@ -36,5 +36,6 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.ToString().c_str());
   std::printf("paper reported: most algorithms at or below baseline load; Central somewhat "
               "above it (every local miss goes through the server)\n");
+  MaybeWriteJson(options, config, results);
   return 0;
 }

@@ -1,0 +1,162 @@
+// Perf-regression harness: standardized throughput suite for the hot paths.
+//
+// Measures, with wall-clock timing (paper-metric quality is covered by the
+// fig* benches; this harness tracks how fast the *simulator itself* runs):
+//
+//   * trace_gen            — synthetic Sprite-like workload generation
+//   * replay_serial_<p>    — single-threaded trace replay per policy
+//   * parallel_sweep_<t>   — RunSimulationsParallel over the Figure 4 job
+//                            list at 1, 2, and hardware threads
+//
+// and writes the series to BENCH_coopfs.json ("coopfs.bench/v1", see
+// docs/metrics_schema.md) so every commit leaves a comparable perf baseline.
+//
+// Usage: perf_harness [--events N] [--seed S] [--out PATH] [--threads T]
+//                     [--dry-run]
+//
+//   --events N    trace length (default 700,000, the paper's Sprite length)
+//   --threads T   thread count for the widest parallel series (default:
+//                 hardware concurrency)
+//   --out PATH    output document (default BENCH_coopfs.json)
+//   --dry-run     skip all measurement; emit a valid empty-suite document
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/format.h"
+#include "src/core/sweep.h"
+#include "src/obs/bench_report.h"
+
+namespace coopfs {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+BenchSeries MakeSeries(const std::string& name, std::uint64_t items, double seconds) {
+  BenchSeries series;
+  series.name = name;
+  series.items = items;
+  series.wall_seconds = seconds;
+  series.ops_per_sec = seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+  series.peak_rss_bytes = CurrentPeakRssBytes();
+  return series;
+}
+
+// The serial-replay policies: a spread from cheapest (no cooperation) to the
+// most bookkeeping-heavy paths, so per-policy regressions are attributable.
+struct ReplayCase {
+  const char* series_name;
+  PolicyKind kind;
+};
+constexpr ReplayCase kReplayCases[] = {
+    {"replay_serial_baseline", PolicyKind::kBaseline},
+    {"replay_serial_greedy", PolicyKind::kGreedy},
+    {"replay_serial_central", PolicyKind::kCentralCoord},
+    {"replay_serial_nchance", PolicyKind::kNChance},
+};
+
+int Run(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  std::string out_path = "BENCH_coopfs.json";
+  std::size_t max_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  bool dry_run = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      max_threads = std::max<std::size_t>(1, std::strtoull(argv[i + 1], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--dry-run") == 0) {
+      dry_run = true;
+    }
+  }
+
+  BenchReport report;
+  if (dry_run) {
+    if (Status status = report.WriteFile(out_path); !status.ok()) {
+      std::fprintf(stderr, "perf_harness: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("perf_harness: dry run, wrote empty suite to %s\n", out_path.c_str());
+    return 0;
+  }
+
+  std::printf("=== perf_harness: throughput suite (%llu events, seed %llu) ===\n",
+              static_cast<unsigned long long>(options.events),
+              static_cast<unsigned long long>(options.seed));
+
+  // 1. Trace generation throughput (fresh, unmemoized generation).
+  {
+    WorkloadConfig config = SpriteWorkloadConfig(options.seed);
+    config.num_events = options.events;
+    const auto start = std::chrono::steady_clock::now();
+    const Trace generated = GenerateWorkload(config);
+    report.series.push_back(MakeSeries("trace_gen", generated.size(), SecondsSince(start)));
+  }
+
+  // The replay series share one memoized trace; generate it before timing.
+  const Trace& trace = SpriteTrace(options);
+  const SimulationConfig config = PaperConfig(options, trace.size());
+
+  // 2. Serial replay throughput per policy (events replayed per second).
+  for (const ReplayCase& replay : kReplayCases) {
+    Simulator simulator(config, &trace);
+    const auto start = std::chrono::steady_clock::now();
+    const SimulationResult result = MustRun(simulator, replay.kind);
+    BenchSeries series = MakeSeries(replay.series_name, trace.size(), SecondsSince(start));
+    (void)result;
+    report.series.push_back(series);
+  }
+
+  // 3. Parallel sweep scaling: the Figure 4 job list (6 policies) at 1, 2,
+  //    and `max_threads` worker threads; items = total events replayed.
+  std::vector<SimulationJob> jobs;
+  for (PolicyKind kind : Figure4PolicyKinds()) {
+    jobs.push_back(SimulationJob{config, kind, PolicyParams{}});
+  }
+  std::vector<std::size_t> thread_counts{1, 2};
+  if (max_threads > 2) {
+    thread_counts.push_back(max_threads);
+  }
+  for (std::size_t threads : thread_counts) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto results = RunSimulationsParallel(trace, jobs, threads);
+    const double seconds = SecondsSince(start);
+    for (const auto& result : results) {
+      if (!result.ok()) {
+        std::fprintf(stderr, "perf_harness: parallel job failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+    }
+    report.series.push_back(MakeSeries("parallel_sweep_" + std::to_string(threads) + "t",
+                                       jobs.size() * trace.size(), seconds));
+  }
+
+  if (Status status = report.WriteFile(out_path); !status.ok()) {
+    std::fprintf(stderr, "perf_harness: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  TableFormatter table({"Series", "Items", "Wall", "Throughput", "Peak RSS"});
+  for (const BenchSeries& series : report.series) {
+    table.AddRow({series.name, std::to_string(series.items),
+                  FormatDouble(series.wall_seconds, 2) + " s",
+                  FormatDouble(series.ops_per_sec / 1e6, 2) + " M/s",
+                  FormatBytes(series.peak_rss_bytes)});
+  }
+  std::printf("%s\nwrote %s (%zu series)\n", table.ToString().c_str(), out_path.c_str(),
+              report.series.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace coopfs
+
+int main(int argc, char** argv) { return coopfs::Run(argc, argv); }

@@ -3,6 +3,10 @@
 //
 // Usage: algorithm_comparison [--events N] [--clients N] [--seed S]
 //                             [--client-mb MB] [--server-mb MB]
+//                             [--json PATH]
+//
+// --json also exports the runs as a coopfs.metrics/v1 document (see
+// docs/metrics_schema.md) for machine consumption.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -11,6 +15,7 @@
 
 #include "src/common/format.h"
 #include "src/core/policy_factory.h"
+#include "src/obs/metrics_exporter.h"
 #include "src/sim/simulator.h"
 #include "src/trace/trace_stats.h"
 #include "src/trace/workload.h"
@@ -24,6 +29,15 @@ std::uint64_t FlagValue(int argc, char** argv, const char* name, std::uint64_t f
     }
   }
   return fallback;
+}
+
+std::string StringFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return {};
 }
 
 }  // namespace
@@ -73,5 +87,19 @@ int main(int argc, char** argv) {
                   FormatPercent(r.RelativeServerLoad(base), 0)});
   }
   std::printf("%s", table.ToString().c_str());
+
+  if (const std::string json_out = StringFlag(argc, argv, "--json"); !json_out.empty()) {
+    MetricsExporter exporter;
+    exporter.SetConfig(config);
+    for (const SimulationResult& r : results) {
+      exporter.AddResult(r);
+    }
+    if (Status status = exporter.WriteFile(json_out); !status.ok()) {
+      std::fprintf(stderr, "metrics export to %s failed: %s\n", json_out.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote metrics document: %s (%zu results)\n", json_out.c_str(), results.size());
+  }
   return 0;
 }

@@ -19,6 +19,7 @@ void Directory::AddHolder(BlockId block, ClientId client) {
   auto& list = it->second.holders;
   if (std::find(list.begin(), list.end(), client) == list.end()) {
     list.push_back(client);
+    CountOp();
   }
 }
 
@@ -32,6 +33,7 @@ void Directory::RemoveHolder(BlockId block, ClientId client) {
   if (pos != list.end()) {
     *pos = list.back();
     list.pop_back();
+    CountOp();
   }
 }
 
@@ -95,6 +97,7 @@ void Directory::EraseBlock(BlockId block) {
     return;
   }
   holders_.erase(it);
+  CountOp();
   auto file_it = file_index_.find(block.file);
   if (file_it != file_index_.end()) {
     auto& vec = file_it->second;

@@ -26,6 +26,11 @@ class Directory {
   Directory(const Directory&) = delete;
   Directory& operator=(const Directory&) = delete;
 
+  // Optional mutation counter (observability): when set, every holder
+  // addition/removal and block erasure increments `*counter`. Null (the
+  // default) disables counting entirely.
+  void set_op_counter(std::uint64_t* counter) { op_counter_ = counter; }
+
   // Records that `client` now caches `block`. Idempotent.
   void AddHolder(BlockId block, ClientId client);
 
@@ -75,6 +80,13 @@ class Directory {
   // Removes `file`s bookkeeping for `block` when its holder set empties.
   void ForgetBlock(BlockId block);
 
+  void CountOp() {
+    if (op_counter_ != nullptr) {
+      ++*op_counter_;
+    }
+  }
+
+  std::uint64_t* op_counter_ = nullptr;
   std::unordered_map<std::uint64_t, PerBlock> holders_;
   // file -> packed BlockIds with (possibly stale) holder state.
   std::unordered_map<FileId, std::vector<std::uint64_t>> file_index_;

@@ -1,0 +1,140 @@
+// Dependency-free JSON writing and parsing.
+//
+// The observability layer (src/obs) exports metrics and bench results as
+// JSON so external tooling (perf trajectories, regression gates, dashboards)
+// can consume them. coopfs takes no third-party dependencies, so this header
+// provides the two pieces it needs:
+//
+//   * JsonWriter — a streaming, stack-validated writer. Doubles are printed
+//     with std::to_chars (shortest round-trip form), so serializing the same
+//     values always yields the same bytes; the determinism tests compare
+//     serialized documents for bit-for-bit equality.
+//   * JsonValue / ParseJson — a small DOM parser used to validate exported
+//     documents (schema round-trip tests, perf_harness self-checks).
+#ifndef COOPFS_SRC_COMMON_JSON_H_
+#define COOPFS_SRC_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace coopfs {
+
+// Streaming JSON writer. Usage:
+//
+//   JsonWriter json(/*indent=*/2);
+//   json.BeginObject().Key("reads").Value(std::uint64_t{42}).EndObject();
+//   std::string doc = std::move(json).str();
+//
+// Structural misuse (a value with no pending key inside an object, unbalanced
+// End calls) is caught by assertions in debug builds; the writer never
+// produces syntactically invalid JSON for correct call sequences.
+class JsonWriter {
+ public:
+  // `indent` spaces per nesting level; 0 writes compact single-line JSON.
+  explicit JsonWriter(int indent = 0) : indent_(indent) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Must precede every value inside an object.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value) { return Value(std::string_view(value)); }
+  JsonWriter& Value(bool value);
+  JsonWriter& Value(double value);
+  JsonWriter& Value(std::int64_t value);
+  JsonWriter& Value(std::uint64_t value);
+  JsonWriter& Value(int value) { return Value(static_cast<std::int64_t>(value)); }
+  JsonWriter& Value(unsigned value) { return Value(static_cast<std::uint64_t>(value)); }
+  JsonWriter& Null();
+
+  // The document so far. Complete once every Begin has its matching End.
+  const std::string& str() const { return out_; }
+
+  // Appends `"\n"`-terminated document convenience: not provided; callers
+  // add a trailing newline when writing files.
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void Prepare();  // Separator + indentation before a key or top-level value.
+  void NewlineIndent();
+  void WriteEscaped(std::string_view text);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;  // Parallel to stack_.
+  bool pending_key_ = false;
+  int indent_ = 0;
+};
+
+// Parsed JSON document node.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  // Integral numbers keep an exact 64-bit value alongside the double.
+  std::int64_t AsInt() const { return int_number_; }
+  bool IsIntegral() const { return is_number() && integral_; }
+  const std::string& AsString() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<Member>& members() const { return members_; }
+  std::size_t size() const { return is_object() ? members_.size() : items_.size(); }
+
+  // Object member lookup; nullptr if absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Typed member lookups used by the schema validators: nullptr if the
+  // member is missing or has the wrong kind.
+  const JsonValue* FindObject(std::string_view key) const;
+  const JsonValue* FindArray(std::string_view key) const;
+  const JsonValue* FindNumber(std::string_view key) const;
+  const JsonValue* FindString(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::int64_t int_number_ = 0;
+  bool integral_ = false;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+// Parses one complete JSON document (trailing whitespace allowed, trailing
+// garbage is an error). Rejects documents nested deeper than 256 levels.
+Result<JsonValue> ParseJson(std::string_view text);
+
+// Writes `content` to `path` with a trailing newline; kIoError on failure.
+Status WriteTextFile(const std::string& path, std::string_view content);
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_COMMON_JSON_H_

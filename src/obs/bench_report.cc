@@ -1,0 +1,97 @@
+#include "src/obs/bench_report.h"
+
+#include "src/common/json.h"
+#include "src/common/version.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace coopfs {
+
+std::string BenchReport::ToJson(int indent) const {
+  JsonWriter json(indent);
+  json.BeginObject();
+  json.Key("schema").Value(kBenchSchema);
+  json.Key("coopfs_version").Value(kVersionString);
+  json.Key("suite").Value(suite);
+  json.Key("series").BeginArray();
+  for (const BenchSeries& s : series) {
+    json.BeginObject();
+    json.Key("name").Value(s.name);
+    json.Key("unit").Value(s.unit);
+    json.Key("ops_per_sec").Value(s.ops_per_sec);
+    json.Key("wall_s").Value(s.wall_seconds);
+    json.Key("items").Value(s.items);
+    json.Key("peak_rss_bytes").Value(s.peak_rss_bytes);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+Status BenchReport::WriteFile(const std::string& path) const {
+  const std::string document = ToJson();
+  COOPFS_RETURN_IF_ERROR(ValidateBenchDocument(document));
+  return WriteTextFile(path, document);
+}
+
+Status ValidateBenchDocument(std::string_view json) {
+  Result<JsonValue> parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return Status::DataLoss("bench document root is not an object");
+  }
+  const JsonValue* schema = root.FindString("schema");
+  if (schema == nullptr) {
+    return Status::DataLoss("bench document missing 'schema'");
+  }
+  if (schema->AsString() != kBenchSchema) {
+    return Status::DataLoss("unsupported bench schema '" + schema->AsString() + "'");
+  }
+  if (root.FindString("suite") == nullptr) {
+    return Status::DataLoss("bench document missing 'suite'");
+  }
+  const JsonValue* series = root.FindArray("series");
+  if (series == nullptr) {
+    return Status::DataLoss("bench document missing 'series' array");
+  }
+  for (std::size_t i = 0; i < series->items().size(); ++i) {
+    const JsonValue& entry = series->items()[i];
+    const std::string where = "series[" + std::to_string(i) + "]";
+    if (!entry.is_object()) {
+      return Status::DataLoss(where + " is not an object");
+    }
+    if (entry.FindString("name") == nullptr || entry.FindString("unit") == nullptr) {
+      return Status::DataLoss(where + " missing 'name'/'unit'");
+    }
+    for (const char* field : {"ops_per_sec", "wall_s", "items", "peak_rss_bytes"}) {
+      if (entry.FindNumber(field) == nullptr) {
+        return Status::DataLoss(where + " missing numeric '" + field + "'");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::uint64_t CurrentPeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // Already bytes.
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB.
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace coopfs

@@ -1,0 +1,52 @@
+// Perf-harness result reporting ("coopfs.bench/v1").
+//
+// bench/perf_harness measures wall-clock throughput of the hot paths (trace
+// generation, serial replay per policy, parallel sweep scaling) and writes
+// the series to BENCH_coopfs.json through this module, giving every commit a
+// machine-comparable perf baseline. The schema is documented in
+// docs/metrics_schema.md alongside the metrics schema.
+#ifndef COOPFS_SRC_OBS_BENCH_REPORT_H_
+#define COOPFS_SRC_OBS_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace coopfs {
+
+inline constexpr std::string_view kBenchSchema = "coopfs.bench/v1";
+
+// One named measurement: `items` work units processed in `wall_seconds`.
+struct BenchSeries {
+  std::string name;
+  std::string unit = "events/s";    // What ops_per_sec counts.
+  double ops_per_sec = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t items = 0;          // Work units processed (e.g. trace events).
+  std::uint64_t peak_rss_bytes = 0; // Process peak RSS observed after the run.
+};
+
+struct BenchReport {
+  std::string suite = "perf_harness";
+  std::vector<BenchSeries> series;
+
+  std::string ToJson(int indent = 2) const;
+
+  // Renders, self-validates, and writes to `path`.
+  Status WriteFile(const std::string& path) const;
+};
+
+// Structural validation of a "coopfs.bench/v1" document: schema tag, series
+// array, and per-series required fields. Used by perf_harness after writing
+// (--dry-run included) and by the round-trip tests.
+Status ValidateBenchDocument(std::string_view json);
+
+// Peak resident set size of this process in bytes, or 0 where unsupported.
+std::uint64_t CurrentPeakRssBytes();
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_OBS_BENCH_REPORT_H_

@@ -1,0 +1,267 @@
+#include "src/obs/metrics_exporter.h"
+
+#include "src/common/version.h"
+
+namespace coopfs {
+
+namespace {
+
+// Stable snake_case field name per cache level, index-aligned with
+// CacheLevel. These are schema names: do not reword without a version bump.
+constexpr const char* kLevelFields[kNumCacheLevels] = {
+    "local_memory",
+    "remote_client",
+    "server_memory",
+    "server_disk",
+};
+
+constexpr const char* kLoadFields[kNumServerLoadKinds] = {
+    "hit_server_memory",
+    "hit_remote_client",
+    "hit_disk",
+    "other",
+};
+
+void WriteConfig(JsonWriter& json, const SimulationConfig& config) {
+  json.BeginObject();
+  json.Key("client_cache_blocks").Value(static_cast<std::uint64_t>(config.client_cache_blocks));
+  json.Key("server_cache_blocks").Value(static_cast<std::uint64_t>(config.server_cache_blocks));
+  json.Key("block_size_bytes").Value(static_cast<std::uint64_t>(kBlockSizeBytes));
+  json.Key("num_servers").Value(static_cast<std::uint64_t>(config.num_servers));
+  json.Key("num_clients").Value(static_cast<std::uint64_t>(config.num_clients));
+  json.Key("warmup_events").Value(config.warmup_events);
+  json.Key("seed").Value(config.seed);
+  json.Key("write_policy")
+      .Value(config.write_policy == WritePolicy::kWriteThrough ? "write_through"
+                                                               : "delayed_write");
+  json.Key("network").BeginObject();
+  json.Key("memory_copy_us").Value(static_cast<std::int64_t>(config.network.memory_copy));
+  json.Key("per_hop_us").Value(static_cast<std::int64_t>(config.network.per_hop));
+  json.Key("block_transfer_us").Value(static_cast<std::int64_t>(config.network.block_transfer));
+  json.EndObject();
+  json.Key("disk_access_us").Value(static_cast<std::int64_t>(config.disk.access_time));
+  json.EndObject();
+}
+
+void WriteResult(JsonWriter& json, const SimulationResult& result,
+                 const MetricsExportOptions& options) {
+  json.BeginObject();
+  json.Key("policy").Value(result.policy_name);
+  json.Key("reads").Value(result.reads);
+  json.Key("avg_read_time_us").Value(result.AverageReadTime());
+  json.Key("local_miss_rate").Value(result.LocalMissRate());
+  json.Key("disk_rate").Value(result.DiskRate());
+
+  // Hit-level breakdown (Figures 4-5): count, fraction of counted reads,
+  // and total latency attributed to the level.
+  json.Key("levels").BeginObject();
+  for (std::size_t i = 0; i < kNumCacheLevels; ++i) {
+    json.Key(kLevelFields[i]).BeginObject();
+    json.Key("count").Value(result.level_counts.Get(i));
+    json.Key("fraction").Value(result.level_counts.Fraction(i));
+    json.Key("time_us").Value(result.level_time_us[i]);
+    json.EndObject();
+  }
+  json.EndObject();
+
+  // Server load units (Figure 6).
+  json.Key("server_load").BeginObject();
+  for (std::size_t i = 0; i < kNumServerLoadKinds; ++i) {
+    json.Key(kLoadFields[i]).Value(result.server_load.Units(static_cast<ServerLoadKind>(i)));
+  }
+  json.Key("total_units").Value(result.server_load.TotalUnits());
+  json.EndObject();
+
+  // Write-path accounting (delayed-write extension).
+  json.Key("writes").BeginObject();
+  json.Key("writes").Value(result.writes);
+  json.Key("flushed").Value(result.flushed_writes);
+  json.Key("absorbed").Value(result.absorbed_writes);
+  json.Key("lost").Value(result.lost_writes);
+  json.EndObject();
+
+  // Replay counters (whole run, warm-up included; see counters.h).
+  json.Key("counters").BeginObject();
+  json.Key("events_replayed").Value(result.counters.events_replayed);
+  json.Key("remote_forwards").Value(result.counters.remote_forwards);
+  json.Key("recirculations").Value(result.counters.recirculations);
+  json.Key("invalidations").Value(result.counters.invalidations);
+  json.Key("directory_ops").Value(result.counters.directory_ops);
+  json.EndObject();
+
+  if (options.include_histogram) {
+    json.Key("latency").BeginObject();
+    json.Key("count").Value(result.latency_histogram.count());
+    json.Key("p50_us").Value(result.latency_histogram.Quantile(0.5));
+    json.Key("p90_us").Value(result.latency_histogram.Quantile(0.9));
+    json.Key("p99_us").Value(result.latency_histogram.Quantile(0.99));
+    json.Key("buckets").BeginArray();
+    for (std::size_t b = 0; b < LogHistogram::kNumBuckets; ++b) {
+      const std::uint64_t count = result.latency_histogram.bucket_count(b);
+      if (count == 0) {
+        continue;
+      }
+      json.BeginObject();
+      json.Key("ge_us").Value(LogHistogram::BucketLowerBound(b));
+      json.Key("count").Value(count);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+
+  if (options.include_per_client) {
+    json.Key("per_client").BeginArray();
+    for (const ClientReadStats& client : result.per_client) {
+      json.BeginObject();
+      json.Key("reads").Value(client.reads);
+      json.Key("total_time_us").Value(client.total_time_us);
+      json.Key("avg_read_time_us").Value(client.AverageReadTime());
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+
+  if (options.include_timeline && !result.timeline.empty()) {
+    json.Key("timeline").BeginArray();
+    for (const SimulationResult::TimelinePoint& point : result.timeline) {
+      json.BeginObject();
+      json.Key("end_time_us").Value(static_cast<std::int64_t>(point.end_time));
+      json.Key("reads").Value(point.reads);
+      json.Key("avg_read_time_us").Value(point.avg_read_time_us);
+      json.Key("disk_rate").Value(point.disk_rate);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+
+  json.EndObject();
+}
+
+}  // namespace
+
+void MetricsExporter::SetConfig(const SimulationConfig& config) {
+  config_ = config;
+  have_config_ = true;
+}
+
+void MetricsExporter::AddResult(const SimulationResult& result) { results_.push_back(result); }
+
+std::string MetricsExporter::ToJson() const {
+  JsonWriter json(options_.indent);
+  json.BeginObject();
+  json.Key("schema").Value(kMetricsSchema);
+  json.Key("coopfs_version").Value(kVersionString);
+  if (have_config_) {
+    json.Key("config");
+    WriteConfig(json, config_);
+  }
+  json.Key("results").BeginArray();
+  for (const SimulationResult& result : results_) {
+    WriteResult(json, result, options_);
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+Status MetricsExporter::WriteFile(const std::string& path) const {
+  const std::string document = ToJson();
+  // Exporting an invalid document would silently poison every downstream
+  // consumer; re-parse before writing (documents are small).
+  COOPFS_RETURN_IF_ERROR(ValidateMetricsDocument(document));
+  return WriteTextFile(path, document);
+}
+
+std::string SimulationResultToJson(const SimulationResult& result,
+                                   const MetricsExportOptions& options) {
+  JsonWriter json(options.indent);
+  WriteResult(json, result, options);
+  return json.str();
+}
+
+namespace {
+
+Status CheckResultObject(const JsonValue& result, std::size_t index) {
+  const std::string where = "results[" + std::to_string(index) + "]";
+  if (!result.is_object()) {
+    return Status::DataLoss(where + " is not an object");
+  }
+  if (result.FindString("policy") == nullptr) {
+    return Status::DataLoss(where + " missing string field 'policy'");
+  }
+  for (const char* field : {"reads", "avg_read_time_us", "local_miss_rate", "disk_rate"}) {
+    if (result.FindNumber(field) == nullptr) {
+      return Status::DataLoss(where + " missing numeric field '" + field + "'");
+    }
+  }
+  const JsonValue* levels = result.FindObject("levels");
+  if (levels == nullptr) {
+    return Status::DataLoss(where + " missing object field 'levels'");
+  }
+  for (const char* level : kLevelFields) {
+    const JsonValue* entry = levels->FindObject(level);
+    if (entry == nullptr) {
+      return Status::DataLoss(where + ".levels missing '" + level + "'");
+    }
+    for (const char* field : {"count", "fraction", "time_us"}) {
+      if (entry->FindNumber(field) == nullptr) {
+        return Status::DataLoss(where + ".levels." + level + " missing numeric '" + field + "'");
+      }
+    }
+  }
+  const JsonValue* load = result.FindObject("server_load");
+  if (load == nullptr) {
+    return Status::DataLoss(where + " missing object field 'server_load'");
+  }
+  for (const char* field : kLoadFields) {
+    if (load->FindNumber(field) == nullptr) {
+      return Status::DataLoss(where + ".server_load missing numeric '" + field + "'");
+    }
+  }
+  if (load->FindNumber("total_units") == nullptr) {
+    return Status::DataLoss(where + ".server_load missing numeric 'total_units'");
+  }
+  const JsonValue* counters = result.FindObject("counters");
+  if (counters == nullptr) {
+    return Status::DataLoss(where + " missing object field 'counters'");
+  }
+  for (const char* field :
+       {"events_replayed", "remote_forwards", "recirculations", "invalidations",
+        "directory_ops"}) {
+    if (counters->FindNumber(field) == nullptr) {
+      return Status::DataLoss(where + ".counters missing numeric '" + field + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateMetricsDocument(std::string_view json) {
+  Result<JsonValue> parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return Status::DataLoss("metrics document root is not an object");
+  }
+  const JsonValue* schema = root.FindString("schema");
+  if (schema == nullptr) {
+    return Status::DataLoss("metrics document missing 'schema'");
+  }
+  if (schema->AsString() != kMetricsSchema) {
+    return Status::DataLoss("unsupported metrics schema '" + schema->AsString() + "'");
+  }
+  const JsonValue* results = root.FindArray("results");
+  if (results == nullptr) {
+    return Status::DataLoss("metrics document missing 'results' array");
+  }
+  for (std::size_t i = 0; i < results->items().size(); ++i) {
+    COOPFS_RETURN_IF_ERROR(CheckResultObject(results->items()[i], i));
+  }
+  return Status::Ok();
+}
+
+}  // namespace coopfs

@@ -59,6 +59,11 @@ struct SimulationConfig {
   // of this many simulated microseconds (SimulationResult::timeline).
   Micros timeline_interval = 0;
 
+  // Collect the lightweight replay counters (SimulationResult::counters:
+  // events replayed, forwards, recirculations, invalidations, directory
+  // ops). When false no counter is touched on any path.
+  bool collect_counters = true;
+
   SimulationConfig& WithClientCacheMiB(std::size_t mib) {
     client_cache_blocks = BytesToBlocks(MiB(mib));
     return *this;

@@ -21,6 +21,7 @@
 #include "src/common/types.h"
 #include "src/model/server_load.h"
 #include "src/sim/config.h"
+#include "src/sim/counters.h"
 
 namespace coopfs {
 
@@ -28,7 +29,13 @@ class SimContext {
  public:
   SimContext(const SimulationConfig& config, std::uint32_t num_clients,
              std::size_t client_cache_blocks, std::size_t server_cache_blocks)
-      : config_(config), num_clients_(num_clients), rng_(config.seed) {
+      : config_(config),
+        num_clients_(num_clients),
+        rng_(config.seed),
+        counters_enabled_(config.collect_counters) {
+    if (counters_enabled_) {
+      directory_.set_op_counter(&counters_.directory_ops);
+    }
     client_caches_.reserve(num_clients);
     for (std::uint32_t c = 0; c < num_clients; ++c) {
       client_caches_.push_back(std::make_unique<BlockCache>(client_cache_blocks));
@@ -71,6 +78,32 @@ class SimContext {
 
   ServerLoadTracker& server_load() { return server_load_; }
 
+  // ---- Replay counters (tracing extension; see counters.h) ----
+  // Unlike the server-load charges below, these are NOT warm-up gated: they
+  // trace simulator work over the whole run.
+  const SimCounters& counters() const { return counters_; }
+  bool counters_enabled() const { return counters_enabled_; }
+  void CountEvent() {
+    if (counters_enabled_) {
+      ++counters_.events_replayed;
+    }
+  }
+  void CountRemoteForward() {
+    if (counters_enabled_) {
+      ++counters_.remote_forwards;
+    }
+  }
+  void CountRecirculation() {
+    if (counters_enabled_) {
+      ++counters_.recirculations;
+    }
+  }
+  void CountInvalidation() {
+    if (counters_enabled_) {
+      ++counters_.invalidations;
+    }
+  }
+
   // ---- Server-load charging (no-ops during warm-up) ----
   void ChargeServerMemoryHit() {
     if (accounting_) {
@@ -78,6 +111,7 @@ class SimContext {
     }
   }
   void ChargeRemoteClientHit() {
+    CountRemoteForward();
     if (accounting_) {
       server_load_.ChargeRemoteClientHit();
     }
@@ -162,6 +196,8 @@ class SimContext {
   bool accounting_ = false;
   ServerLoadTracker server_load_;
   WriteStats write_stats_;
+  SimCounters counters_;
+  bool counters_enabled_ = true;
 
   std::unordered_set<std::uint64_t> seen_blocks_;
   std::unordered_map<FileId, std::vector<BlockId>> file_blocks_;

@@ -16,6 +16,7 @@
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/model/server_load.h"
+#include "src/sim/counters.h"
 
 namespace coopfs {
 
@@ -40,6 +41,10 @@ struct SimulationResult {
   std::vector<ClientReadStats> per_client;
 
   ServerLoadTracker server_load;
+
+  // Replay counters for the whole run, warm-up included (zeroed when
+  // SimulationConfig::collect_counters is false). See counters.h.
+  SimCounters counters;
 
   // Distribution of per-read latencies (log-bucketed). The paper reports
   // means; the histogram exposes tails (a disk access is ~60x a local hit,

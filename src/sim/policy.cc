@@ -124,6 +124,7 @@ void PolicyBase::Write(ClientId client, BlockId block) {
       ctx().CountAbsorbedWrite();
     }
     DropLocal(holder, block);
+    ctx().CountInvalidation();
     ctx().ChargeSmallMessages(1);
   }
   OnInvalidateExtra(block, client);
@@ -172,6 +173,7 @@ void PolicyBase::Delete(ClientId client, FileId file) {
         ctx().CountAbsorbedWrite();
       }
       ctx().client_cache(holder).Erase(block);
+      ctx().CountInvalidation();
       ctx().ChargeSmallMessages(1);
     }
     ctx().directory().EraseBlock(block);

@@ -73,6 +73,7 @@ Result<SimulationResult> Simulator::Run(Policy& policy, const ContextInspector& 
   for (const TraceEvent& event : *trace_) {
     context.set_now(event.timestamp);
     context.set_accounting(index >= config_.warmup_events);
+    context.CountEvent();
     if (event.client >= num_clients_) {
       return Status::InvalidArgument("event client id out of range at event " +
                                      std::to_string(index));
@@ -128,6 +129,7 @@ Result<SimulationResult> Simulator::Run(Policy& policy, const ContextInspector& 
     close_bucket(bucket_end);
   }
   result.server_load = context.server_load();
+  result.counters = context.counters();
   result.writes = context.write_stats().writes;
   result.flushed_writes = context.write_stats().flushed;
   result.absorbed_writes = context.write_stats().absorbed;

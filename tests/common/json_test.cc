@@ -1,0 +1,167 @@
+#include "src/common/json.h"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace coopfs {
+namespace {
+
+TEST(JsonWriterTest, CompactObject) {
+  JsonWriter json(0);
+  json.BeginObject()
+      .Key("name")
+      .Value("coopfs")
+      .Key("reads")
+      .Value(std::uint64_t{42})
+      .Key("ok")
+      .Value(true)
+      .Key("nothing")
+      .Null()
+      .EndObject();
+  EXPECT_EQ(json.str(), R"({"name":"coopfs","reads":42,"ok":true,"nothing":null})");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter json(0);
+  json.BeginObject().Key("series").BeginArray();
+  json.BeginObject().Key("v").Value(1).EndObject();
+  json.BeginObject().Key("v").Value(2).EndObject();
+  json.EndArray().EndObject();
+  EXPECT_EQ(json.str(), R"({"series":[{"v":1},{"v":2}]})");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter json(2);
+  json.BeginObject().Key("a").BeginArray().EndArray().Key("o").BeginObject().EndObject()
+      .EndObject();
+  EXPECT_EQ(json.str(), "{\n  \"a\": [],\n  \"o\": {}\n}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter json(0);
+  json.Value(std::string_view("a\"b\\c\nd\te\x01" "f"));
+  EXPECT_EQ(json.str(), R"("a\"b\\c\nd\te\u0001f")");
+}
+
+TEST(JsonWriterTest, DoubleRoundTripsExactly) {
+  const double values[] = {0.0, 1.0, -1.5, 0.1, 1e-9, 1.0 / 3.0, 6.02e23, 14800.0};
+  for (const double value : values) {
+    JsonWriter json(0);
+    json.Value(value);
+    Result<JsonValue> parsed = ParseJson(json.str());
+    ASSERT_TRUE(parsed.ok()) << json.str();
+    EXPECT_EQ(parsed->AsDouble(), value) << json.str();
+  }
+}
+
+TEST(JsonWriterTest, NonFiniteBecomesNull) {
+  JsonWriter json(0);
+  json.Value(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(json.str(), "null");
+}
+
+TEST(JsonWriterTest, IndentedOutputParsesBack) {
+  JsonWriter json(2);
+  json.BeginObject().Key("x").BeginArray().Value(1).Value(2).EndArray().EndObject();
+  EXPECT_EQ(json.str(), "{\n  \"x\": [\n    1,\n    2\n  ]\n}");
+  EXPECT_TRUE(ParseJson(json.str()).ok());
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->AsBool());
+  EXPECT_FALSE(ParseJson("false")->AsBool());
+  EXPECT_EQ(ParseJson("\"hi\"")->AsString(), "hi");
+  EXPECT_EQ(ParseJson("-17")->AsInt(), -17);
+  EXPECT_TRUE(ParseJson("-17")->IsIntegral());
+  EXPECT_DOUBLE_EQ(ParseJson("2.5e3")->AsDouble(), 2500.0);
+  EXPECT_FALSE(ParseJson("2.5e3")->IsIntegral());
+}
+
+TEST(JsonParseTest, ObjectLookup) {
+  Result<JsonValue> doc = ParseJson(R"({"a": 1, "b": {"c": [10, 20]}})");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_NE(doc->Find("a"), nullptr);
+  EXPECT_EQ(doc->Find("a")->AsInt(), 1);
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+  const JsonValue* b = doc->FindObject("b");
+  ASSERT_NE(b, nullptr);
+  const JsonValue* c = b->FindArray("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->items().size(), 2u);
+  EXPECT_EQ(c->items()[1].AsInt(), 20);
+}
+
+TEST(JsonParseTest, TypedFindRejectsWrongKind) {
+  Result<JsonValue> doc = ParseJson(R"({"s": "text", "n": 3})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->FindNumber("s"), nullptr);
+  EXPECT_EQ(doc->FindString("n"), nullptr);
+  EXPECT_NE(doc->FindString("s"), nullptr);
+  EXPECT_NE(doc->FindNumber("n"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  Result<JsonValue> doc = ParseJson(R"("a\"b\\c\nd\u0041")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "a\"b\\c\nd" "A");
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",           "{",           "[1,]",        "{\"a\":}",      "{\"a\" 1}",
+      "{'a': 1}",   "tru",         "01x",         "\"unterminated", "1 2",
+      "{\"a\":1,}", "[1 2]",       "\"\\q\"",     "nul",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseJson(text).ok()) << "should reject: " << text;
+  }
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep(400, '[');
+  deep += std::string(400, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonParseTest, LargeIntegersStayExact) {
+  const std::int64_t big = 9007199254740995;  // > 2^53: not representable as double.
+  JsonWriter json(0);
+  json.Value(big);
+  Result<JsonValue> parsed = ParseJson(json.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->IsIntegral());
+  EXPECT_EQ(parsed->AsInt(), big);
+}
+
+TEST(JsonRoundTrip, WriterOutputIsStable) {
+  // Serializing the same values twice yields identical bytes — the
+  // determinism tests depend on this.
+  auto render = [] {
+    JsonWriter json(0);
+    json.BeginObject().Key("f").Value(1.0 / 3.0).Key("g").Value(0.1 + 0.2).EndObject();
+    return json.str();
+  };
+  EXPECT_EQ(render(), render());
+}
+
+TEST(WriteTextFileTest, WritesWithTrailingNewline) {
+  const std::string path = ::testing::TempDir() + "/coopfs_json_test.txt";
+  ASSERT_TRUE(WriteTextFile(path, "{\"a\":1}").ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "{\"a\":1}\n");
+}
+
+TEST(WriteTextFileTest, FailsOnUnwritablePath) {
+  EXPECT_FALSE(WriteTextFile("/nonexistent-dir/x/y.json", "{}").ok());
+}
+
+}  // namespace
+}  // namespace coopfs

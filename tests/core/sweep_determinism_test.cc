@@ -1,0 +1,116 @@
+// Bit-for-bit determinism of RunSimulationsParallel: for every policy, the
+// serialized metrics must be byte-identical across thread counts (1, 2,
+// hardware) and across repeated runs. The comparison goes through the
+// coopfs.metrics/v1 serializer, whose shortest-round-trip double formatting
+// makes equal values produce equal bytes — so a single string comparison
+// covers every counter, latency, and derived rate at full precision.
+//
+// This test is also the TSan target in CI: the sweep's only shared state is
+// the read-only trace, the atomic job index, and disjoint result slots, so a
+// data-race report here means the parallel dispatch itself regressed.
+#include "src/core/sweep.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics_exporter.h"
+#include "src/trace/workload.h"
+
+namespace coopfs {
+namespace {
+
+class SweepDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Small Sprite-like trace: big enough that every policy forwards,
+    // recirculates, and invalidates; small enough for sanitizer runs.
+    WorkloadConfig workload = SmallTestWorkloadConfig();
+    workload.num_events = 40'000;
+    trace_ = new Trace(GenerateWorkload(workload));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+
+  static std::vector<SimulationJob> AllPolicyJobs() {
+    SimulationConfig config;
+    config.WithClientCacheMiB(1).WithServerCacheMiB(4);
+    config.warmup_events = trace_->size() / 4;
+    std::vector<SimulationJob> jobs;
+    for (PolicyKind kind : AllPolicyKinds()) {
+      SimulationJob job;
+      job.config = config;
+      job.kind = kind;
+      jobs.push_back(job);
+    }
+    return jobs;
+  }
+
+  // Runs the sweep and flattens every result into one serialized document.
+  static std::string RunSerialized(const std::vector<SimulationJob>& jobs, std::size_t threads) {
+    std::vector<Result<SimulationResult>> results =
+        RunSimulationsParallel(*trace_, jobs, threads);
+    EXPECT_EQ(results.size(), jobs.size());
+    std::string combined;
+    for (const Result<SimulationResult>& result : results) {
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      if (result.ok()) {
+        combined += SimulationResultToJson(*result);
+        combined += '\n';
+      }
+    }
+    return combined;
+  }
+
+  static Trace* trace_;
+};
+
+Trace* SweepDeterminismTest::trace_ = nullptr;
+
+TEST_F(SweepDeterminismTest, IdenticalAcrossThreadCounts) {
+  const std::vector<SimulationJob> jobs = AllPolicyJobs();
+  const std::string serial = RunSerialized(jobs, 1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(RunSerialized(jobs, 2), serial) << "2 threads diverged from serial";
+  EXPECT_EQ(RunSerialized(jobs, 0), serial) << "hardware-concurrency run diverged from serial";
+}
+
+TEST_F(SweepDeterminismTest, IdenticalAcrossRepeatedRuns) {
+  const std::vector<SimulationJob> jobs = AllPolicyJobs();
+  EXPECT_EQ(RunSerialized(jobs, 2), RunSerialized(jobs, 2));
+  EXPECT_EQ(RunSerialized(jobs, 0), RunSerialized(jobs, 0));
+}
+
+TEST_F(SweepDeterminismTest, ResultsStayInJobOrder) {
+  const std::vector<SimulationJob> jobs = AllPolicyJobs();
+  std::vector<Result<SimulationResult>> results = RunSimulationsParallel(*trace_, jobs, 0);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(results[i]->policy_name, MakePolicy(jobs[i].kind, jobs[i].params)->Name())
+        << "slot " << i;
+  }
+}
+
+TEST_F(SweepDeterminismTest, CountersMatchSerialRun) {
+  // The tracing counters ride along with the paper metrics: they must be
+  // deterministic under parallel dispatch too.
+  const std::vector<SimulationJob> jobs = AllPolicyJobs();
+  std::vector<Result<SimulationResult>> serial = RunSimulationsParallel(*trace_, jobs, 1);
+  std::vector<Result<SimulationResult>> parallel = RunSimulationsParallel(*trace_, jobs, 0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok());
+    ASSERT_TRUE(parallel[i].ok());
+    EXPECT_EQ(serial[i]->counters, parallel[i]->counters)
+        << serial[i]->policy_name << " counters diverged";
+    EXPECT_GT(serial[i]->counters.events_replayed, 0u) << serial[i]->policy_name;
+  }
+}
+
+}  // namespace
+}  // namespace coopfs

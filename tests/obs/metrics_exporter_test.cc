@@ -1,0 +1,246 @@
+// Schema round-trip coverage for the coopfs.metrics/v1 exporter: every
+// exported document must parse back, carry the documented field names, and
+// agree numerically with the SimulationResult it came from (so `--json`
+// output can never drift from the text tables, which are computed from the
+// same result object).
+#include "src/obs/metrics_exporter.h"
+
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/json.h"
+#include "src/core/policy_factory.h"
+#include "src/obs/bench_report.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload.h"
+
+namespace coopfs {
+namespace {
+
+class MetricsExporterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new Trace(GenerateWorkload(SmallTestWorkloadConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+
+  static SimulationConfig TestConfig() {
+    SimulationConfig config;
+    config.WithClientCacheMiB(1).WithServerCacheMiB(4);
+    config.warmup_events = trace_->size() / 4;
+    config.timeline_interval = 60'000'000;
+    return config;
+  }
+
+  static SimulationResult RunPolicy(PolicyKind kind) {
+    SimulationConfig config = TestConfig();
+    Simulator simulator(config, trace_);
+    auto policy = MakePolicy(kind);
+    Result<SimulationResult> result = simulator.Run(*policy);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *std::move(result);
+  }
+
+  static Trace* trace_;
+};
+
+Trace* MetricsExporterTest::trace_ = nullptr;
+
+TEST_F(MetricsExporterTest, DocumentValidatesAndParsesBack) {
+  MetricsExporter exporter;
+  exporter.SetConfig(TestConfig());
+  exporter.AddResult(RunPolicy(PolicyKind::kBaseline));
+  exporter.AddResult(RunPolicy(PolicyKind::kNChance));
+  const std::string document = exporter.ToJson();
+
+  ASSERT_TRUE(ValidateMetricsDocument(document).ok())
+      << ValidateMetricsDocument(document).ToString();
+  Result<JsonValue> parsed = ParseJson(document);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->FindString("schema")->AsString(), kMetricsSchema);
+  EXPECT_NE(parsed->FindString("coopfs_version"), nullptr);
+  ASSERT_NE(parsed->FindArray("results"), nullptr);
+  EXPECT_EQ(parsed->FindArray("results")->items().size(), 2u);
+}
+
+TEST_F(MetricsExporterTest, ExportedFieldsMatchResult) {
+  const SimulationResult result = RunPolicy(PolicyKind::kNChance);
+  MetricsExporter exporter;
+  exporter.AddResult(result);
+  Result<JsonValue> parsed = ParseJson(exporter.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& json = parsed->FindArray("results")->items().front();
+
+  EXPECT_EQ(json.FindString("policy")->AsString(), result.policy_name);
+  EXPECT_EQ(static_cast<std::uint64_t>(json.FindNumber("reads")->AsInt()), result.reads);
+  EXPECT_EQ(json.FindNumber("avg_read_time_us")->AsDouble(), result.AverageReadTime());
+  EXPECT_EQ(json.FindNumber("local_miss_rate")->AsDouble(), result.LocalMissRate());
+  EXPECT_EQ(json.FindNumber("disk_rate")->AsDouble(), result.DiskRate());
+
+  const JsonValue* levels = json.FindObject("levels");
+  ASSERT_NE(levels, nullptr);
+  const char* level_fields[kNumCacheLevels] = {"local_memory", "remote_client", "server_memory",
+                                               "server_disk"};
+  for (std::size_t i = 0; i < kNumCacheLevels; ++i) {
+    const JsonValue* level = levels->FindObject(level_fields[i]);
+    ASSERT_NE(level, nullptr) << level_fields[i];
+    EXPECT_EQ(static_cast<std::uint64_t>(level->FindNumber("count")->AsInt()),
+              result.level_counts.Get(i));
+    EXPECT_EQ(level->FindNumber("fraction")->AsDouble(), result.level_counts.Fraction(i));
+    EXPECT_EQ(level->FindNumber("time_us")->AsDouble(), result.level_time_us[i]);
+  }
+
+  const JsonValue* load = json.FindObject("server_load");
+  ASSERT_NE(load, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(load->FindNumber("total_units")->AsInt()),
+            result.server_load.TotalUnits());
+
+  const JsonValue* counters = json.FindObject("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(counters->FindNumber("events_replayed")->AsInt()),
+            result.counters.events_replayed);
+  EXPECT_EQ(static_cast<std::uint64_t>(counters->FindNumber("recirculations")->AsInt()),
+            result.counters.recirculations);
+  // N-Chance on a shared workload must actually exercise the hooks.
+  EXPECT_GT(result.counters.events_replayed, 0u);
+  EXPECT_GT(result.counters.directory_ops, 0u);
+
+  // Per-client array mirrors the fairness inputs (Figure 7).
+  const JsonValue* per_client = json.FindArray("per_client");
+  ASSERT_NE(per_client, nullptr);
+  ASSERT_EQ(per_client->items().size(), result.per_client.size());
+  for (std::size_t c = 0; c < result.per_client.size(); ++c) {
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  per_client->items()[c].FindNumber("reads")->AsInt()),
+              result.per_client[c].reads);
+  }
+
+  // Timeline series present when collected.
+  const JsonValue* timeline = json.FindArray("timeline");
+  ASSERT_NE(timeline, nullptr);
+  EXPECT_EQ(timeline->items().size(), result.timeline.size());
+}
+
+TEST_F(MetricsExporterTest, CountersDisabledExportsZeros) {
+  SimulationConfig config = TestConfig();
+  config.collect_counters = false;
+  Simulator simulator(config, trace_);
+  auto policy = MakePolicy(PolicyKind::kNChance);
+  Result<SimulationResult> result = simulator.Run(*policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->counters, SimCounters{});
+
+  // Paper metrics are unaffected by the toggle.
+  SimulationConfig on = TestConfig();
+  Simulator simulator_on(on, trace_);
+  auto policy_on = MakePolicy(PolicyKind::kNChance);
+  Result<SimulationResult> with_counters = simulator_on.Run(*policy_on);
+  ASSERT_TRUE(with_counters.ok());
+  EXPECT_EQ(result->reads, with_counters->reads);
+  EXPECT_EQ(result->AverageReadTime(), with_counters->AverageReadTime());
+  EXPECT_NE(with_counters->counters, SimCounters{});
+}
+
+TEST_F(MetricsExporterTest, SerializationIsDeterministic) {
+  const SimulationResult result = RunPolicy(PolicyKind::kCentralCoord);
+  EXPECT_EQ(SimulationResultToJson(result), SimulationResultToJson(result));
+}
+
+TEST_F(MetricsExporterTest, OptionsTrimSections) {
+  MetricsExportOptions options;
+  options.include_per_client = false;
+  options.include_timeline = false;
+  options.include_histogram = false;
+  MetricsExporter exporter(options);
+  exporter.AddResult(RunPolicy(PolicyKind::kBaseline));
+  const std::string document = exporter.ToJson();
+  ASSERT_TRUE(ValidateMetricsDocument(document).ok());
+  const Result<JsonValue> parsed = ParseJson(document);
+  const JsonValue& json = parsed->FindArray("results")->items().front();
+  EXPECT_EQ(json.Find("per_client"), nullptr);
+  EXPECT_EQ(json.Find("timeline"), nullptr);
+  EXPECT_EQ(json.Find("latency"), nullptr);
+}
+
+TEST_F(MetricsExporterTest, WriteFileProducesValidDocument) {
+  MetricsExporter exporter;
+  exporter.SetConfig(TestConfig());
+  exporter.AddResult(RunPolicy(PolicyKind::kGreedy));
+  const std::string path = ::testing::TempDir() + "/coopfs_metrics_test.json";
+  ASSERT_TRUE(exporter.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_TRUE(ValidateMetricsDocument(content).ok());
+}
+
+TEST(MetricsValidationTest, RejectsWrongSchemaAndShape) {
+  EXPECT_FALSE(ValidateMetricsDocument("not json").ok());
+  EXPECT_FALSE(ValidateMetricsDocument("[]").ok());
+  EXPECT_FALSE(ValidateMetricsDocument(R"({"results": []})").ok());
+  EXPECT_FALSE(
+      ValidateMetricsDocument(R"({"schema": "coopfs.metrics/v999", "results": []})").ok());
+  EXPECT_FALSE(ValidateMetricsDocument(R"({"schema": "coopfs.metrics/v1"})").ok());
+  // A result missing required fields fails.
+  EXPECT_FALSE(ValidateMetricsDocument(
+                   R"({"schema": "coopfs.metrics/v1", "results": [{"policy": "x"}]})")
+                   .ok());
+  // Minimal empty-results document passes.
+  EXPECT_TRUE(ValidateMetricsDocument(R"({"schema": "coopfs.metrics/v1", "results": []})").ok());
+}
+
+TEST(BenchReportTest, EmptySuiteIsValid) {
+  // The perf_harness --dry-run path: an empty suite must still produce a
+  // valid, schema-tagged document.
+  BenchReport report;
+  const std::string document = report.ToJson();
+  EXPECT_TRUE(ValidateBenchDocument(document).ok()) << document;
+  Result<JsonValue> parsed = ParseJson(document);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->FindString("schema")->AsString(), kBenchSchema);
+  EXPECT_EQ(parsed->FindArray("series")->items().size(), 0u);
+}
+
+TEST(BenchReportTest, SeriesRoundTrip) {
+  BenchReport report;
+  BenchSeries series;
+  series.name = "replay_serial_nchance";
+  series.ops_per_sec = 2.5e6;
+  series.wall_seconds = 0.28;
+  series.items = 700'000;
+  series.peak_rss_bytes = 123 << 20;
+  report.series.push_back(series);
+  const std::string document = report.ToJson();
+  ASSERT_TRUE(ValidateBenchDocument(document).ok()) << document;
+  Result<JsonValue> parsed = ParseJson(document);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& entry = parsed->FindArray("series")->items().front();
+  EXPECT_EQ(entry.FindString("name")->AsString(), "replay_serial_nchance");
+  EXPECT_EQ(entry.FindNumber("ops_per_sec")->AsDouble(), 2.5e6);
+  EXPECT_EQ(static_cast<std::uint64_t>(entry.FindNumber("items")->AsInt()), 700'000u);
+}
+
+TEST(BenchReportTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ValidateBenchDocument(R"({"schema": "coopfs.bench/v1"})").ok());
+  EXPECT_FALSE(ValidateBenchDocument(
+                   R"({"schema": "nope", "suite": "s", "series": []})")
+                   .ok());
+  EXPECT_FALSE(ValidateBenchDocument(
+                   R"({"schema": "coopfs.bench/v1", "suite": "s", "series": [{"name": "x"}]})")
+                   .ok());
+}
+
+TEST(BenchReportTest, PeakRssIsPlausible) {
+  const std::uint64_t rss = CurrentPeakRssBytes();
+  // On Linux this must be nonzero and at least a couple of MB for a running
+  // gtest binary.
+  EXPECT_GT(rss, 1u << 20);
+}
+
+}  // namespace
+}  // namespace coopfs
