@@ -8,6 +8,8 @@
 
 #include "src/common/format.h"
 #include "src/obs/metrics_exporter.h"
+#include "src/obs/trace_recorder.h"
+#include "src/obs/trace_sink.h"
 #include "src/trace/trace_stats.h"
 
 namespace coopfs {
@@ -23,6 +25,10 @@ BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
       options.auspex_events = std::strtoull(argv[i + 1], nullptr, 10);
     } else if (std::strcmp(argv[i], "--json") == 0) {
       options.json_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--trace-events") == 0) {
+      options.trace_events_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--trace-perfetto") == 0) {
+      options.trace_perfetto_out = argv[i + 1];
     }
   }
   // Environment override so `for b in bench/*; do $b; done` can be scaled.
@@ -79,7 +85,47 @@ SimulationConfig PaperConfig(const BenchOptions& options, std::uint64_t trace_ev
   config.WithClientCacheMiB(16).WithServerCacheMiB(128);
   config.warmup_events = options.WarmupFor(trace_events);
   config.seed = options.seed;
+  config.trace_recorder = BenchTraceRecorder(options);
   return config;
+}
+
+TraceRecorder* BenchTraceRecorder(const BenchOptions& options) {
+  if (!options.tracing_requested()) {
+    return nullptr;
+  }
+  static auto* recorder = new TraceRecorder();
+  return recorder;
+}
+
+void MaybeWriteTraceEvents(const BenchOptions& options, const std::string& workload) {
+  TraceRecorder* recorder = BenchTraceRecorder(options);
+  if (recorder == nullptr) {
+    return;
+  }
+  TraceExportMetadata metadata;
+  metadata.seed = options.seed;
+  metadata.trace_events = options.events;
+  metadata.workload = workload;
+  if (!options.trace_events_out.empty()) {
+    if (Status status = WriteEventsJsonl(recorder->runs(), metadata, options.trace_events_out);
+        !status.ok()) {
+      std::fprintf(stderr, "event trace export to %s failed: %s\n",
+                   options.trace_events_out.c_str(), status.ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("wrote event trace: %s (%zu runs)\n", options.trace_events_out.c_str(),
+                recorder->runs().size());
+  }
+  if (!options.trace_perfetto_out.empty()) {
+    if (Status status = WritePerfettoTrace(recorder->runs(), options.trace_perfetto_out);
+        !status.ok()) {
+      std::fprintf(stderr, "perfetto trace export to %s failed: %s\n",
+                   options.trace_perfetto_out.c_str(), status.ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("wrote perfetto trace: %s (open at ui.perfetto.dev)\n",
+                options.trace_perfetto_out.c_str());
+  }
 }
 
 SimulationResult MustRun(Simulator& simulator, Policy& policy) {
@@ -110,6 +156,7 @@ void PrintBanner(const std::string& figure, const std::string& what, const Bench
 
 void MaybeWriteJson(const BenchOptions& options, const SimulationConfig& config,
                     const std::vector<SimulationResult>& results) {
+  MaybeWriteTraceEvents(options);
   if (options.json_out.empty()) {
     return;
   }

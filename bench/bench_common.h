@@ -3,9 +3,13 @@
 // Every fig*/sec* binary replays the same synthetic Sprite-like workload
 // (the paper's traces 5-6 substitute; see DESIGN.md) under the paper's §4.1
 // default configuration, varying one dimension. Common flags:
-//   --events N     trace length (default 700,000 as in the paper)
-//   --seed S       workload seed (default 42)
-//   --json PATH    also export the runs as a coopfs.metrics/v1 document
+//   --events N             trace length (default 700,000 as in the paper)
+//   --seed S               workload seed (default 42)
+//   --json PATH            also export the runs as a coopfs.metrics/v1 document
+//   --trace-events PATH    record per-event traces for every run and write a
+//                          coopfs.events/v1 JSONL document (docs/observability.md)
+//   --trace-perfetto PATH  also write the runs as Chrome trace_event JSON for
+//                          ui.perfetto.dev
 // Warm-up is scaled as in the paper: the first 4/7 of the trace (400k of
 // 700k accesses).
 #ifndef COOPFS_BENCH_BENCH_COMMON_H_
@@ -26,9 +30,15 @@ struct BenchOptions {
   std::uint64_t events = 700'000;
   std::uint64_t seed = 42;
   std::uint64_t auspex_events = 5'000'000;
-  std::string json_out;  // --json PATH: empty = no structured export.
+  std::string json_out;            // --json PATH: empty = no structured export.
+  std::string trace_events_out;    // --trace-events PATH: empty = no recording.
+  std::string trace_perfetto_out;  // --trace-perfetto PATH: empty = none.
 
   static BenchOptions FromArgs(int argc, char** argv);
+
+  bool tracing_requested() const {
+    return !trace_events_out.empty() || !trace_perfetto_out.empty();
+  }
 
   std::uint64_t WarmupFor(std::uint64_t num_events) const { return num_events * 4 / 7; }
 };
@@ -41,8 +51,23 @@ const Trace& SpriteTrace(const BenchOptions& options);
 const Trace& AuspexTrace(const BenchOptions& options);
 
 // Paper §4.1 defaults: 16 MB clients, 128 MB server, ATM network; warm-up
-// set to the paper's fraction of `trace_events`.
+// set to the paper's fraction of `trace_events`. If --trace-events /
+// --trace-perfetto was given, the process-wide recorder (below) is attached
+// so every run through this config records per-event traces.
 SimulationConfig PaperConfig(const BenchOptions& options, std::uint64_t trace_events);
+
+// The process-wide TraceRecorder backing --trace-events, created on first
+// use; null when tracing was not requested. Bench binaries run policies
+// sequentially, so sharing one recorder across runs is safe here (each run
+// becomes one TraceRun in the exported document).
+TraceRecorder* BenchTraceRecorder(const BenchOptions& options);
+
+// If --trace-events / --trace-perfetto was given, writes the recorder's
+// runs to the requested paths (validated coopfs.events/v1 JSONL and/or
+// Chrome trace_event JSON), aborting on failure. `workload` labels the
+// document header. Called by MaybeWriteJson; standalone for binaries that
+// do not export metrics.
+void MaybeWriteTraceEvents(const BenchOptions& options, const std::string& workload = "sprite");
 
 // Runs one policy, aborting the process with a message on failure.
 SimulationResult MustRun(Simulator& simulator, Policy& policy);

@@ -5,6 +5,12 @@
 //
 //   * trace_gen            — synthetic Sprite-like workload generation
 //   * replay_serial_<p>    — single-threaded trace replay per policy
+//   * replay_traced_nchance — the N-Chance replay with a TraceRecorder
+//                            attached (vs. replay_serial_nchance: the cost
+//                            of per-event recording; disabled tracing is a
+//                            null-pointer check and must stay in the noise)
+//   * trace_export_jsonl   — serializing the recorded run to
+//                            coopfs.events/v1 JSONL (items = bytes)
 //   * parallel_sweep_<t>   — RunSimulationsParallel over the Figure 4 job
 //                            list at 1, 2, and hardware threads
 //
@@ -31,6 +37,8 @@
 #include "src/common/format.h"
 #include "src/core/sweep.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/trace_recorder.h"
+#include "src/obs/trace_sink.h"
 
 namespace coopfs {
 namespace {
@@ -114,7 +122,32 @@ int Run(int argc, char** argv) {
     report.series.push_back(series);
   }
 
-  // 3. Parallel sweep scaling: the Figure 4 job list (6 policies) at 1, 2,
+  // 3. Event-tracing overhead: the most bookkeeping-heavy replay again with
+  //    a recorder attached, then the JSONL serialization of what it
+  //    recorded. replay_traced_nchance vs. replay_serial_nchance is the
+  //    recording tax the docs quote.
+  {
+    TraceRecorder recorder;
+    SimulationConfig traced_config = config;
+    traced_config.trace_recorder = &recorder;
+    Simulator simulator(traced_config, &trace);
+    const auto start = std::chrono::steady_clock::now();
+    const SimulationResult result = MustRun(simulator, PolicyKind::kNChance);
+    BenchSeries series = MakeSeries("replay_traced_nchance", trace.size(), SecondsSince(start));
+    (void)result;
+    report.series.push_back(series);
+
+    TraceExportMetadata metadata;
+    metadata.seed = options.seed;
+    metadata.trace_events = options.events;
+    metadata.workload = "sprite";
+    const auto export_start = std::chrono::steady_clock::now();
+    const std::string jsonl = EventsToJsonl(recorder.runs(), metadata);
+    report.series.push_back(
+        MakeSeries("trace_export_jsonl", jsonl.size(), SecondsSince(export_start)));
+  }
+
+  // 4. Parallel sweep scaling: the Figure 4 job list (6 policies) at 1, 2,
   //    and `max_threads` worker threads; items = total events replayed.
   std::vector<SimulationJob> jobs;
   for (PolicyKind kind : Figure4PolicyKinds()) {

@@ -3,10 +3,15 @@
 //
 // Usage: algorithm_comparison [--events N] [--clients N] [--seed S]
 //                             [--client-mb MB] [--server-mb MB]
-//                             [--json PATH]
+//                             [--json PATH] [--trace-events PATH]
+//                             [--trace-perfetto PATH]
 //
 // --json also exports the runs as a coopfs.metrics/v1 document (see
-// docs/metrics_schema.md) for machine consumption.
+// docs/metrics_schema.md) for machine consumption. --trace-events records
+// every replayed event and writes a coopfs.events/v1 JSONL document (one
+// run per algorithm; see docs/observability.md) for `coopfs_inspect`;
+// --trace-perfetto writes the same runs as Chrome trace_event JSON for
+// ui.perfetto.dev.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +21,8 @@
 #include "src/common/format.h"
 #include "src/core/policy_factory.h"
 #include "src/obs/metrics_exporter.h"
+#include "src/obs/trace_recorder.h"
+#include "src/obs/trace_sink.h"
 #include "src/sim/simulator.h"
 #include "src/trace/trace_stats.h"
 #include "src/trace/workload.h"
@@ -60,6 +67,13 @@ int main(int argc, char** argv) {
   config.WithServerCacheMiB(FlagValue(argc, argv, "--server-mb", 128));
   config.warmup_events = workload.num_events * 4 / 7;  // Paper: 400k of 700k.
 
+  const std::string trace_events_out = StringFlag(argc, argv, "--trace-events");
+  const std::string trace_perfetto_out = StringFlag(argc, argv, "--trace-perfetto");
+  TraceRecorder recorder;
+  if (!trace_events_out.empty() || !trace_perfetto_out.empty()) {
+    config.trace_recorder = &recorder;
+  }
+
   Simulator simulator(config, &trace);
 
   std::vector<SimulationResult> results;
@@ -100,6 +114,33 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote metrics document: %s (%zu results)\n", json_out.c_str(), results.size());
+  }
+
+  if (config.trace_recorder != nullptr) {
+    TraceExportMetadata metadata;
+    metadata.seed = workload.seed;
+    metadata.trace_events = workload.num_events;
+    metadata.workload = "sprite";
+    if (!trace_events_out.empty()) {
+      if (Status status = WriteEventsJsonl(recorder.runs(), metadata, trace_events_out);
+          !status.ok()) {
+        std::fprintf(stderr, "event trace export to %s failed: %s\n", trace_events_out.c_str(),
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote event trace: %s (%zu runs)\n", trace_events_out.c_str(),
+                  recorder.runs().size());
+    }
+    if (!trace_perfetto_out.empty()) {
+      if (Status status = WritePerfettoTrace(recorder.runs(), trace_perfetto_out);
+          !status.ok()) {
+        std::fprintf(stderr, "perfetto trace export to %s failed: %s\n",
+                     trace_perfetto_out.c_str(), status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote perfetto trace: %s (open at ui.perfetto.dev)\n",
+                  trace_perfetto_out.c_str());
+    }
   }
   return 0;
 }

@@ -19,7 +19,7 @@ void Directory::AddHolder(BlockId block, ClientId client) {
   auto& list = it->second.holders;
   if (std::find(list.begin(), list.end(), client) == list.end()) {
     list.push_back(client);
-    CountOp();
+    CountOp(DirectoryOpKind::kAddHolder, block, client);
   }
 }
 
@@ -33,7 +33,7 @@ void Directory::RemoveHolder(BlockId block, ClientId client) {
   if (pos != list.end()) {
     *pos = list.back();
     list.pop_back();
-    CountOp();
+    CountOp(DirectoryOpKind::kRemoveHolder, block, client);
   }
 }
 
@@ -97,7 +97,7 @@ void Directory::EraseBlock(BlockId block) {
     return;
   }
   holders_.erase(it);
-  CountOp();
+  CountOp(DirectoryOpKind::kEraseBlock, block, kNoClient);
   auto file_it = file_index_.find(block.file);
   if (file_it != file_index_.end()) {
     auto& vec = file_it->second;

@@ -19,6 +19,26 @@
 
 namespace coopfs {
 
+// Kinds of directory mutation reported to a DirectoryObserver.
+enum class DirectoryOpKind : std::uint8_t {
+  kAddHolder = 0,    // A client registered a new copy.
+  kRemoveHolder = 1, // A client's copy was dropped.
+  kEraseBlock = 2,   // All state for a block was erased (delete/invalidate).
+};
+
+// Observer of individual directory mutations (observability extension; the
+// event-level TraceRecorder in src/obs implements this). The op counter
+// below answers "how many"; the observer answers "which block, which
+// client". Kept as a separate hook so the cheap counter stays available
+// without per-op records.
+class DirectoryObserver {
+ public:
+  virtual ~DirectoryObserver() = default;
+
+  // `client` is the affected holder, or kNoClient for kEraseBlock.
+  virtual void OnDirectoryOp(DirectoryOpKind op, BlockId block, ClientId client) = 0;
+};
+
 class Directory {
  public:
   Directory() = default;
@@ -30,6 +50,10 @@ class Directory {
   // addition/removal and block erasure increments `*counter`. Null (the
   // default) disables counting entirely.
   void set_op_counter(std::uint64_t* counter) { op_counter_ = counter; }
+
+  // Optional per-mutation observer (null disables). Observers see the same
+  // mutations the op counter counts, with block/client detail.
+  void set_observer(DirectoryObserver* observer) { observer_ = observer; }
 
   // Records that `client` now caches `block`. Idempotent.
   void AddHolder(BlockId block, ClientId client);
@@ -80,13 +104,17 @@ class Directory {
   // Removes `file`s bookkeeping for `block` when its holder set empties.
   void ForgetBlock(BlockId block);
 
-  void CountOp() {
+  void CountOp(DirectoryOpKind op, BlockId block, ClientId client) {
     if (op_counter_ != nullptr) {
       ++*op_counter_;
+    }
+    if (observer_ != nullptr) {
+      observer_->OnDirectoryOp(op, block, client);
     }
   }
 
   std::uint64_t* op_counter_ = nullptr;
+  DirectoryObserver* observer_ = nullptr;
   std::unordered_map<std::uint64_t, PerBlock> holders_;
   // file -> packed BlockIds with (possibly stale) holder state.
   std::unordered_map<FileId, std::vector<std::uint64_t>> file_index_;

@@ -1,14 +1,26 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+
+#include "src/common/json.h"
 
 namespace coopfs {
 
 namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+std::atomic<LogFormat> g_log_format{LogFormat::kText};
+
+// Applies the environment before main() so every binary honors
+// COOPFS_LOG_LEVEL / COOPFS_LOG_FORMAT without code changes.
+const bool g_env_applied = [] {
+  InitLoggingFromEnvironment();
+  return true;
+}();
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -26,9 +38,33 @@ const char* LevelTag(LogLevel level) {
   return "?";
 }
 
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kNone:
+      return "none";
+  }
+  return "none";
+}
+
 const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash != nullptr ? slash + 1 : path;
+}
+
+std::string AsciiLower(std::string_view text) {
+  std::string lower(text);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return lower;
 }
 
 }  // namespace
@@ -37,13 +73,83 @@ LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
 
 void SetLogLevel(LogLevel level) { g_log_level.store(level, std::memory_order_relaxed); }
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line << "] ";
+LogFormat GetLogFormat() { return g_log_format.load(std::memory_order_relaxed); }
+
+void SetLogFormat(LogFormat format) { g_log_format.store(format, std::memory_order_relaxed); }
+
+std::optional<LogLevel> ParseLogLevel(std::string_view text) {
+  const std::string lower = AsciiLower(text);
+  if (lower == "debug" || lower == "0") {
+    return LogLevel::kDebug;
+  }
+  if (lower == "info" || lower == "1") {
+    return LogLevel::kInfo;
+  }
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") {
+    return LogLevel::kError;
+  }
+  if (lower == "none" || lower == "off" || lower == "4") {
+    return LogLevel::kNone;
+  }
+  return std::nullopt;
 }
 
+std::optional<LogFormat> ParseLogFormat(std::string_view text) {
+  const std::string lower = AsciiLower(text);
+  if (lower == "text") {
+    return LogFormat::kText;
+  }
+  if (lower == "json") {
+    return LogFormat::kJson;
+  }
+  return std::nullopt;
+}
+
+void InitLoggingFromEnvironment() {
+  if (const char* env = std::getenv("COOPFS_LOG_LEVEL"); env != nullptr) {
+    if (std::optional<LogLevel> level = ParseLogLevel(env); level.has_value()) {
+      SetLogLevel(*level);
+    }
+  }
+  if (const char* env = std::getenv("COOPFS_LOG_FORMAT"); env != nullptr) {
+    if (std::optional<LogFormat> format = ParseLogFormat(env); format.has_value()) {
+      SetLogFormat(*format);
+    }
+  }
+}
+
+std::string FormatLogRecord(LogLevel level, const char* file, int line, std::string_view message,
+                            LogFormat format) {
+  const char* base = Basename(file);
+  if (format == LogFormat::kJson) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("level").Value(LevelName(level));
+    json.Key("src").Value(std::string(base) + ":" + std::to_string(line));
+    json.Key("msg").Value(message);
+    json.EndObject();
+    return json.str();
+  }
+  std::string out = "[";
+  out += LevelTag(level);
+  out += " ";
+  out += base;
+  out += ":";
+  out += std::to_string(line);
+  out += "] ";
+  out += message;
+  return out;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
 LogMessage::~LogMessage() {
-  stream_ << "\n";
-  const std::string line = stream_.str();
+  const std::string line =
+      FormatLogRecord(level_, file_, line_, stream_.str(), GetLogFormat()) + "\n";
   std::fwrite(line.data(), 1, line.size(), stderr);
 }
 

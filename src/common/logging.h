@@ -2,11 +2,23 @@
 //
 // Usage: COOPFS_LOG(kInfo) << "warmed " << n << " accesses";
 // Severity below the global threshold is compiled to a cheap runtime check.
+//
+// The threshold and output format are process-wide atomics, safe to read and
+// write from parallel sweeps. Both are initialized from the environment at
+// startup:
+//   COOPFS_LOG_LEVEL  = debug | info | warning | error | none (or 0-4)
+//   COOPFS_LOG_FORMAT = text | json
+// The json format emits each record as one machine-parseable JSON object per
+// line ({"level":...,"src":"file:line","msg":...}) so library diagnostics
+// can be collected alongside the structured exports (coopfs.metrics/v1,
+// coopfs.events/v1) instead of scraped from free text.
 #ifndef COOPFS_SRC_COMMON_LOGGING_H_
 #define COOPFS_SRC_COMMON_LOGGING_H_
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace coopfs {
 
@@ -18,10 +30,40 @@ enum class LogLevel : int {
   kNone = 4,  // Threshold value that silences everything.
 };
 
+// How emitted records are rendered to stderr.
+enum class LogFormat : int {
+  kText = 0,  // "[I file.cc:42] message"
+  kJson = 1,  // {"level":"info","src":"file.cc:42","msg":"message"}
+};
+
 // Process-wide minimum severity that is actually emitted. Defaults to
-// kWarning so library consumers are quiet unless they opt in.
+// kWarning (or COOPFS_LOG_LEVEL if set) so library consumers are quiet
+// unless they opt in. Thread-safe.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// Process-wide output format. Defaults to kText (or COOPFS_LOG_FORMAT if
+// set). Thread-safe.
+LogFormat GetLogFormat();
+void SetLogFormat(LogFormat format);
+
+// Parses a COOPFS_LOG_LEVEL value ("warning", "WARNING", or "2");
+// std::nullopt if unrecognized.
+std::optional<LogLevel> ParseLogLevel(std::string_view text);
+
+// Parses a COOPFS_LOG_FORMAT value ("text" or "json", case-insensitive).
+std::optional<LogFormat> ParseLogFormat(std::string_view text);
+
+// Re-reads COOPFS_LOG_LEVEL / COOPFS_LOG_FORMAT and applies any valid
+// values. Runs automatically before main(); exposed so tests (and hosts
+// that mutate their environment) can re-trigger it.
+void InitLoggingFromEnvironment();
+
+// Renders one record in `format` (without trailing newline). The text form
+// is the classic bracketed line; the JSON form is one compact object.
+// Exposed for tests; LogMessage uses it internally.
+std::string FormatLogRecord(LogLevel level, const char* file, int line, std::string_view message,
+                            LogFormat format);
 
 // Internal: stream that emits one formatted line to stderr on destruction.
 class LogMessage {
@@ -36,6 +78,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

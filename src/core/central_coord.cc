@@ -67,8 +67,8 @@ ReadOutcome CentralCoordPolicy::Read(ClientId client, BlockId block) {
 
   // The server checks the centrally coordinated client memory; a hit renews
   // the entry on the global LRU list and forwards the request (3 hops).
-  if (global_cache_->Touch(block.Pack()) != nullptr) {
-    ctx().ChargeRemoteClientHit();
+  if (const ClientId* host = global_cache_->Touch(block.Pack()); host != nullptr) {
+    ctx().ChargeRemoteClientHit(*host);
     CacheLocally(client, block);
     return {CacheLevel::kRemoteClient, 3, true};
   }

@@ -30,6 +30,8 @@ ReadOutcome DirectCoopPolicy::Read(ClientId client, BlockId block) {
   // 1050 us on ATM). The block migrates back into the local cache.
   BlockCache& remote = *remote_caches_[client];
   if (remote.Erase(block)) {
+    // The "remote client" here is this client's own private remote cache.
+    ctx().TraceForward(client);
     CacheLocally(client, block);
     return {CacheLevel::kRemoteClient, 2, true};
   }

@@ -22,7 +22,7 @@ ReadOutcome GreedyPolicy::Read(ClientId client, BlockId block) {
   // forward + reply = 3 hops (Figure 3).
   const ClientId holder = ctx().directory().PickHolder(block, client, ctx().rng());
   if (holder != kNoClient) {
-    ctx().ChargeRemoteClientHit();
+    ctx().ChargeRemoteClientHit(holder);
     OnRemoteHit(client, holder, block);
     CacheLocally(client, block);
     return {CacheLevel::kRemoteClient, 3, true};

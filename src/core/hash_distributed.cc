@@ -48,6 +48,7 @@ ReadOutcome HashDistributedPolicy::Read(ClientId client, BlockId block) {
       // The coordinated copy is in this client's own memory: no network.
       return {CacheLevel::kLocalMemory, 0, false};
     }
+    ctx().TraceForward(target);
     return {CacheLevel::kRemoteClient, 2, true};
   }
 

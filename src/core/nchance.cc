@@ -96,6 +96,7 @@ void NChancePolicy::HandleEviction(ClientId client, CacheEntry& victim) {
   // The "block has moved" directory update piggybacks on the miss request
   // that triggered this eviction (§2.4 first optimization): uncharged.
   ctx().CountRecirculation();
+  ctx().TraceRecirculation(client, peer, block, count);
   DropLocal(client, block);
   ReceiveForwarded(peer, block, count);
 }

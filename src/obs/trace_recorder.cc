@@ -1,0 +1,147 @@
+#include "src/obs/trace_recorder.h"
+
+#include <cassert>
+#include <utility>
+
+namespace coopfs {
+
+void TraceRecorder::BeginRun(std::string policy_name, std::uint32_t num_clients) {
+  assert(!span_open_ && "previous run ended mid-read");
+  TraceRun run;
+  run.policy = std::move(policy_name);
+  run.num_clients = num_clients;
+  runs_.push_back(std::move(run));
+  event_index_ = 0;
+  timestamp_ = 0;
+  next_seq_ = 0;
+  span_open_ = false;
+}
+
+TraceRun& TraceRecorder::current_run() {
+  assert(!runs_.empty() && "record before BeginRun");
+  return runs_.back();
+}
+
+void TraceRecorder::BeginRead(ClientId client, BlockId block, bool counted) {
+  if (!options_.record_reads) {
+    return;
+  }
+  assert(!span_open_ && "nested read spans");
+  open_span_ = ReadSpan{};
+  open_span_.event_index = event_index_;
+  open_span_.timestamp = timestamp_;
+  open_span_.block = block;
+  open_span_.client = client;
+  open_span_.counted = counted;
+  span_open_ = true;
+}
+
+void TraceRecorder::AnnotateForward(ClientId holder) {
+  if (span_open_) {
+    open_span_.forward_holder = holder;
+  }
+}
+
+void TraceRecorder::EndRead(CacheLevel level, int hops, bool data_transfer, Micros latency) {
+  if (!span_open_) {
+    return;
+  }
+  // The span's sequence number is assigned at completion, after any records
+  // its eviction chain produced, so a chronological merge of reads and ops
+  // by seq shows causes before effects (Chrome trace "X" event convention).
+  open_span_.seq = next_seq_++;
+  open_span_.level = level;
+  open_span_.hops = static_cast<std::uint8_t>(hops);
+  open_span_.data_transfer = data_transfer;
+  open_span_.latency_us = latency;
+  current_run().reads.push_back(open_span_);
+  span_open_ = false;
+}
+
+void TraceRecorder::RecordWrite(ClientId writer, BlockId block) {
+  if (!options_.record_writes) {
+    return;
+  }
+  OpRecord op;
+  op.seq = next_seq_++;
+  op.event_index = event_index_;
+  op.timestamp = timestamp_;
+  op.block = block;
+  op.client = writer;
+  op.kind = TraceOpKind::kWrite;
+  current_run().ops.push_back(op);
+}
+
+void TraceRecorder::RecordInvalidation(BlockId block, ClientId holder, ClientId writer) {
+  if (!options_.record_invalidations) {
+    return;
+  }
+  OpRecord op;
+  op.seq = next_seq_++;
+  op.event_index = event_index_;
+  op.timestamp = timestamp_;
+  op.block = block;
+  op.client = holder;
+  op.peer = writer;
+  op.kind = TraceOpKind::kInvalidation;
+  current_run().ops.push_back(op);
+}
+
+void TraceRecorder::RecordRecirculation(ClientId from, ClientId to, BlockId block, int count) {
+  if (span_open_) {
+    ++open_span_.recirculations;
+  }
+  if (!options_.record_recirculations) {
+    return;
+  }
+  OpRecord op;
+  op.seq = next_seq_++;
+  op.event_index = event_index_;
+  op.timestamp = timestamp_;
+  op.block = block;
+  op.client = from;
+  op.peer = to;
+  op.kind = TraceOpKind::kRecirculation;
+  op.detail = static_cast<std::uint8_t>(count);
+  current_run().ops.push_back(op);
+}
+
+void TraceRecorder::OnDirectoryOp(DirectoryOpKind kind, BlockId block, ClientId client) {
+  if (!options_.record_directory_ops) {
+    return;
+  }
+  OpRecord op;
+  op.seq = next_seq_++;
+  op.event_index = event_index_;
+  op.timestamp = timestamp_;
+  op.block = block;
+  op.client = client;
+  switch (kind) {
+    case DirectoryOpKind::kAddHolder:
+      op.kind = TraceOpKind::kDirectoryAdd;
+      break;
+    case DirectoryOpKind::kRemoveHolder:
+      op.kind = TraceOpKind::kDirectoryRemove;
+      break;
+    case DirectoryOpKind::kEraseBlock:
+      op.kind = TraceOpKind::kDirectoryErase;
+      break;
+  }
+  current_run().ops.push_back(op);
+}
+
+TraceRecorder::LevelTotals TraceRecorder::CountedTotals(const TraceRun& run) {
+  LevelTotals totals;
+  for (const ReadSpan& span : run.reads) {
+    if (!span.counted) {
+      continue;
+    }
+    const auto level = static_cast<std::size_t>(span.level);
+    ++totals.counts[level];
+    totals.time_us[level] += static_cast<double>(span.latency_us);
+    ++totals.counted_reads;
+  }
+  return totals;
+}
+
+}  // namespace coopfs

@@ -1,0 +1,194 @@
+// Per-event trace recording (observability subsystem).
+//
+// SimCounters (src/sim/counters.h) says how often each replay mechanism
+// fired; TraceRecorder says *which* event fired it. When a recorder is
+// attached via SimulationConfig::trace_recorder, the simulator opens one
+// ReadSpan per replayed read — requester, block, hit level, forward target,
+// N-Chance recirculations triggered, latency charged — and the policy layer
+// appends discrete OpRecords for writes, invalidations, recirculations, and
+// (optionally) server-directory mutations. With no recorder attached every
+// hook is a null-pointer check, preserving the "zero cost when disabled"
+// property the perf harness quantifies (replay_serial_* vs. replay_traced_*).
+//
+// Recording is strictly per-run deterministic: records are appended in
+// replay order and carry a per-run sequence number, so two replays of the
+// same (trace, config, policy) produce byte-identical exports regardless of
+// wall-clock time or sweep thread count. A recorder must therefore not be
+// shared between concurrently executing simulations; give each parallel job
+// its own recorder (see the sweep-determinism tests).
+//
+// Serialization lives in src/obs/trace_sink.h ("coopfs.events/v1" JSONL and
+// Chrome trace_event / Perfetto JSON); offline analysis in
+// tools/coopfs_inspect.
+#ifndef COOPFS_SRC_OBS_TRACE_RECORDER_H_
+#define COOPFS_SRC_OBS_TRACE_RECORDER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cache/directory.h"
+#include "src/common/types.h"
+
+namespace coopfs {
+
+// One completed read, from dispatch to satisfied request.
+struct ReadSpan {
+  std::uint64_t seq = 0;          // Per-run record order (shared with ops).
+  std::uint64_t event_index = 0;  // Position of the read in the trace.
+  Micros timestamp = 0;           // Simulated time of the request.
+  Micros latency_us = 0;          // Latency charged by the technology model.
+  BlockId block;
+  ClientId client = 0;            // Requester.
+  ClientId forward_holder = kNoClient;  // Remote client that supplied the
+                                        // data (kNoClient if none did).
+  std::uint32_t recirculations = 0;     // N-Chance recirculations triggered
+                                        // by this read's eviction chain.
+  CacheLevel level = CacheLevel::kLocalMemory;
+  std::uint8_t hops = 0;
+  bool data_transfer = false;
+  bool counted = false;           // Post-warm-up (contributes to metrics).
+
+  friend bool operator==(const ReadSpan&, const ReadSpan&) = default;
+};
+
+// Discrete non-read record kinds.
+enum class TraceOpKind : std::uint8_t {
+  kWrite = 0,            // Client wrote a block.
+  kInvalidation = 1,     // A holder's copy was invalidated (write or delete).
+  kRecirculation = 2,    // N-Chance forwarded an evicted singlet to a peer.
+  kDirectoryAdd = 3,     // Server directory: holder registered.
+  kDirectoryRemove = 4,  // Server directory: holder dropped.
+  kDirectoryErase = 5,   // Server directory: all state for a block erased.
+};
+
+constexpr const char* TraceOpKindName(TraceOpKind kind) {
+  switch (kind) {
+    case TraceOpKind::kWrite:
+      return "write";
+    case TraceOpKind::kInvalidation:
+      return "inval";
+    case TraceOpKind::kRecirculation:
+      return "recirc";
+    case TraceOpKind::kDirectoryAdd:
+      return "dir_add";
+    case TraceOpKind::kDirectoryRemove:
+      return "dir_remove";
+    case TraceOpKind::kDirectoryErase:
+      return "dir_erase";
+  }
+  return "unknown";
+}
+
+// One discrete record. Field meaning by kind:
+//   kWrite          client = writer
+//   kInvalidation   client = invalidated holder, peer = writer (kNoClient
+//                   for whole-file deletes)
+//   kRecirculation  client = evicting client, peer = receiving peer,
+//                   detail = recirculation count remaining on the copy
+//   kDirectory*     client = affected holder (kNoClient for erase)
+struct OpRecord {
+  std::uint64_t seq = 0;
+  std::uint64_t event_index = 0;  // Trace event being replayed when recorded.
+  Micros timestamp = 0;
+  BlockId block;
+  ClientId client = kNoClient;
+  ClientId peer = kNoClient;
+  TraceOpKind kind = TraceOpKind::kWrite;
+  std::uint8_t detail = 0;
+
+  friend bool operator==(const OpRecord&, const OpRecord&) = default;
+};
+
+// Everything recorded for one Simulator::Run.
+struct TraceRun {
+  std::string policy;
+  std::uint32_t num_clients = 0;
+  std::vector<ReadSpan> reads;
+  std::vector<OpRecord> ops;
+
+  friend bool operator==(const TraceRun&, const TraceRun&) = default;
+};
+
+// Category switches. Directory mutations are the highest-volume category
+// (several per event on the cooperative policies), so they default off;
+// everything else defaults on.
+struct TraceRecorderOptions {
+  bool record_reads = true;
+  bool record_writes = true;
+  bool record_invalidations = true;
+  bool record_recirculations = true;
+  bool record_directory_ops = false;
+};
+
+class TraceRecorder : public DirectoryObserver {
+ public:
+  explicit TraceRecorder(TraceRecorderOptions options = {}) : options_(options) {}
+
+  const TraceRecorderOptions& options() const { return options_; }
+
+  // ---- Run lifecycle (driven by Simulator::Run) ----
+
+  // Starts a new run; subsequent records append to it.
+  void BeginRun(std::string policy_name, std::uint32_t num_clients);
+
+  // Sets the (event index, simulated time) attributed to records made while
+  // replaying this trace event. Called once per event before dispatch.
+  void SetEventContext(std::uint64_t event_index, Micros timestamp) {
+    event_index_ = event_index;
+    timestamp_ = timestamp;
+  }
+
+  // ---- Read spans ----
+
+  // Opens the span for the read being dispatched. `counted` marks post-warm-
+  // up reads whose latency feeds SimulationResult.
+  void BeginRead(ClientId client, BlockId block, bool counted);
+
+  // Annotates the open span with the remote client that supplied the data.
+  void AnnotateForward(ClientId holder);
+
+  // Closes the span with the policy's outcome and the latency charged.
+  void EndRead(CacheLevel level, int hops, bool data_transfer, Micros latency);
+
+  // ---- Discrete records (policy hooks through SimContext) ----
+
+  void RecordWrite(ClientId writer, BlockId block);
+  void RecordInvalidation(BlockId block, ClientId holder, ClientId writer);
+  void RecordRecirculation(ClientId from, ClientId to, BlockId block, int count);
+
+  // DirectoryObserver: server-directory mutations (option-gated).
+  void OnDirectoryOp(DirectoryOpKind op, BlockId block, ClientId client) override;
+
+  // ---- Recorded data ----
+
+  const std::vector<TraceRun>& runs() const { return runs_; }
+  bool empty() const { return runs_.empty(); }
+
+  // Per-level aggregates over one run's *counted* spans, in replay order.
+  // Latencies are accumulated exactly as the simulator accumulates
+  // SimulationResult::level_time_us, so the reconciliation tests can demand
+  // bit-for-bit equality, not approximate agreement.
+  struct LevelTotals {
+    std::array<std::uint64_t, kNumCacheLevels> counts{};
+    std::array<double, kNumCacheLevels> time_us{};
+    std::uint64_t counted_reads = 0;
+  };
+  static LevelTotals CountedTotals(const TraceRun& run);
+
+ private:
+  TraceRun& current_run();
+
+  TraceRecorderOptions options_;
+  std::vector<TraceRun> runs_;
+  std::uint64_t event_index_ = 0;
+  Micros timestamp_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool span_open_ = false;
+  ReadSpan open_span_;
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_OBS_TRACE_RECORDER_H_

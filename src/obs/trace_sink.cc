@@ -1,0 +1,458 @@
+#include "src/obs/trace_sink.h"
+
+#include <string>
+
+#include "src/common/json.h"
+#include "src/common/version.h"
+
+namespace coopfs {
+
+namespace {
+
+// Schema type tag per op kind, index-aligned with TraceOpKind.
+constexpr const char* kOpTypeNames[] = {
+    "write", "inval", "recirc", "dir_add", "dir_remove", "dir_erase",
+};
+
+constexpr const char* kLevelNames[kNumCacheLevels] = {
+    "local_memory",
+    "remote_client",
+    "server_memory",
+    "server_disk",
+};
+
+}  // namespace
+
+const char* CacheLevelSchemaName(CacheLevel level) {
+  return kLevelNames[static_cast<std::size_t>(level)];
+}
+
+bool CacheLevelFromSchemaName(std::string_view name, CacheLevel& level) {
+  for (std::size_t i = 0; i < kNumCacheLevels; ++i) {
+    if (name == kLevelNames[i]) {
+      level = static_cast<CacheLevel>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+bool OpKindFromTypeName(std::string_view name, TraceOpKind& kind) {
+  for (std::size_t i = 0; i < std::size(kOpTypeNames); ++i) {
+    if (name == kOpTypeNames[i]) {
+      kind = static_cast<TraceOpKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendLine(std::string& out, const JsonWriter& json) {
+  if (!out.empty()) {
+    out += '\n';
+  }
+  out += json.str();
+}
+
+void WriteReadLine(std::string& out, std::size_t run_index, const ReadSpan& span) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("type").Value("read");
+  json.Key("run").Value(static_cast<std::uint64_t>(run_index));
+  json.Key("seq").Value(span.seq);
+  json.Key("i").Value(span.event_index);
+  json.Key("ts").Value(static_cast<std::int64_t>(span.timestamp));
+  json.Key("client").Value(static_cast<std::uint64_t>(span.client));
+  json.Key("file").Value(static_cast<std::uint64_t>(span.block.file));
+  json.Key("block").Value(static_cast<std::uint64_t>(span.block.block));
+  json.Key("level").Value(CacheLevelSchemaName(span.level));
+  json.Key("hops").Value(static_cast<std::uint64_t>(span.hops));
+  json.Key("xfer").Value(span.data_transfer);
+  json.Key("lat_us").Value(static_cast<std::int64_t>(span.latency_us));
+  json.Key("counted").Value(span.counted);
+  if (span.forward_holder != kNoClient) {
+    json.Key("holder").Value(static_cast<std::uint64_t>(span.forward_holder));
+  }
+  if (span.recirculations != 0) {
+    json.Key("recirc").Value(static_cast<std::uint64_t>(span.recirculations));
+  }
+  json.EndObject();
+  AppendLine(out, json);
+}
+
+void WriteOpLine(std::string& out, std::size_t run_index, const OpRecord& op) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("type").Value(kOpTypeNames[static_cast<std::size_t>(op.kind)]);
+  json.Key("run").Value(static_cast<std::uint64_t>(run_index));
+  json.Key("seq").Value(op.seq);
+  json.Key("i").Value(op.event_index);
+  json.Key("ts").Value(static_cast<std::int64_t>(op.timestamp));
+  if (op.client != kNoClient) {
+    json.Key("client").Value(static_cast<std::uint64_t>(op.client));
+  }
+  json.Key("file").Value(static_cast<std::uint64_t>(op.block.file));
+  json.Key("block").Value(static_cast<std::uint64_t>(op.block.block));
+  if (op.kind == TraceOpKind::kInvalidation && op.peer != kNoClient) {
+    json.Key("writer").Value(static_cast<std::uint64_t>(op.peer));
+  }
+  if (op.kind == TraceOpKind::kRecirculation) {
+    json.Key("peer").Value(static_cast<std::uint64_t>(op.peer));
+    json.Key("count").Value(static_cast<std::uint64_t>(op.detail));
+  }
+  json.EndObject();
+  AppendLine(out, json);
+}
+
+}  // namespace
+
+std::string EventsToJsonl(const std::vector<TraceRun>& runs,
+                          const TraceExportMetadata& metadata) {
+  std::string out;
+  {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("type").Value("header");
+    json.Key("schema").Value(kEventsSchema);
+    json.Key("coopfs_version").Value(kVersionString);
+    json.Key("seed").Value(metadata.seed);
+    json.Key("trace_events").Value(metadata.trace_events);
+    if (!metadata.workload.empty()) {
+      json.Key("workload").Value(metadata.workload);
+    }
+    json.EndObject();
+    AppendLine(out, json);
+  }
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const TraceRun& run = runs[r];
+    {
+      JsonWriter json;
+      json.BeginObject();
+      json.Key("type").Value("run");
+      json.Key("run").Value(static_cast<std::uint64_t>(r));
+      json.Key("policy").Value(run.policy);
+      json.Key("num_clients").Value(static_cast<std::uint64_t>(run.num_clients));
+      json.EndObject();
+      AppendLine(out, json);
+    }
+    // Reads and ops are each seq-sorted (append order); merge to one
+    // chronological stream.
+    std::size_t ri = 0;
+    std::size_t oi = 0;
+    while (ri < run.reads.size() || oi < run.ops.size()) {
+      const bool take_read =
+          oi >= run.ops.size() ||
+          (ri < run.reads.size() && run.reads[ri].seq < run.ops[oi].seq);
+      if (take_read) {
+        WriteReadLine(out, r, run.reads[ri++]);
+      } else {
+        WriteOpLine(out, r, run.ops[oi++]);
+      }
+    }
+  }
+  return out;
+}
+
+Status WriteEventsJsonl(const std::vector<TraceRun>& runs, const TraceExportMetadata& metadata,
+                        const std::string& path) {
+  const std::string document = EventsToJsonl(runs, metadata);
+  COOPFS_RETURN_IF_ERROR(ValidateEventsDocument(document));
+  return WriteTextFile(path, document);
+}
+
+namespace {
+
+Status LineError(std::size_t line_number, const std::string& message) {
+  return Status::DataLoss("events line " + std::to_string(line_number) + ": " + message);
+}
+
+// Fetches a required non-negative integral field.
+bool GetUint(const JsonValue& value, std::string_view key, std::uint64_t& out) {
+  const JsonValue* field = value.FindNumber(key);
+  if (field == nullptr || !field->IsIntegral() || field->AsInt() < 0) {
+    return false;
+  }
+  out = static_cast<std::uint64_t>(field->AsInt());
+  return true;
+}
+
+Status ParseReadLine(const JsonValue& value, std::size_t line_number, TraceRun& run) {
+  ReadSpan span;
+  std::uint64_t seq = 0;
+  std::uint64_t index = 0;
+  std::uint64_t client = 0;
+  std::uint64_t file = 0;
+  std::uint64_t block = 0;
+  std::uint64_t hops = 0;
+  if (!GetUint(value, "seq", seq) || !GetUint(value, "i", index) ||
+      !GetUint(value, "client", client) || !GetUint(value, "file", file) ||
+      !GetUint(value, "block", block) || !GetUint(value, "hops", hops)) {
+    return LineError(line_number, "read missing integral field");
+  }
+  const JsonValue* ts = value.FindNumber("ts");
+  const JsonValue* lat = value.FindNumber("lat_us");
+  if (ts == nullptr || !ts->IsIntegral() || lat == nullptr || !lat->IsIntegral()) {
+    return LineError(line_number, "read missing 'ts' or 'lat_us'");
+  }
+  const JsonValue* level = value.FindString("level");
+  if (level == nullptr || !CacheLevelFromSchemaName(level->AsString(), span.level)) {
+    return LineError(line_number, "read has unknown 'level'");
+  }
+  const JsonValue* xfer = value.Find("xfer");
+  const JsonValue* counted = value.Find("counted");
+  if (xfer == nullptr || !xfer->is_bool() || counted == nullptr || !counted->is_bool()) {
+    return LineError(line_number, "read missing boolean 'xfer' or 'counted'");
+  }
+  span.seq = seq;
+  span.event_index = index;
+  span.timestamp = ts->AsInt();
+  span.latency_us = lat->AsInt();
+  span.client = static_cast<ClientId>(client);
+  span.block = BlockId{static_cast<FileId>(file), static_cast<BlockIndex>(block)};
+  span.hops = static_cast<std::uint8_t>(hops);
+  span.data_transfer = xfer->AsBool();
+  span.counted = counted->AsBool();
+  if (std::uint64_t holder = 0; GetUint(value, "holder", holder)) {
+    span.forward_holder = static_cast<ClientId>(holder);
+  }
+  if (std::uint64_t recirc = 0; GetUint(value, "recirc", recirc)) {
+    span.recirculations = static_cast<std::uint32_t>(recirc);
+  }
+  run.reads.push_back(span);
+  return Status::Ok();
+}
+
+Status ParseOpLine(const JsonValue& value, TraceOpKind kind, std::size_t line_number,
+                   TraceRun& run) {
+  OpRecord op;
+  op.kind = kind;
+  std::uint64_t seq = 0;
+  std::uint64_t index = 0;
+  std::uint64_t file = 0;
+  std::uint64_t block = 0;
+  if (!GetUint(value, "seq", seq) || !GetUint(value, "i", index) ||
+      !GetUint(value, "file", file) || !GetUint(value, "block", block)) {
+    return LineError(line_number, "op missing integral field");
+  }
+  const JsonValue* ts = value.FindNumber("ts");
+  if (ts == nullptr || !ts->IsIntegral()) {
+    return LineError(line_number, "op missing 'ts'");
+  }
+  op.seq = seq;
+  op.event_index = index;
+  op.timestamp = ts->AsInt();
+  op.block = BlockId{static_cast<FileId>(file), static_cast<BlockIndex>(block)};
+  if (std::uint64_t client = 0; GetUint(value, "client", client)) {
+    op.client = static_cast<ClientId>(client);
+  }
+  if (kind == TraceOpKind::kInvalidation) {
+    if (std::uint64_t writer = 0; GetUint(value, "writer", writer)) {
+      op.peer = static_cast<ClientId>(writer);
+    }
+  }
+  if (kind == TraceOpKind::kRecirculation) {
+    std::uint64_t peer = 0;
+    std::uint64_t count = 0;
+    if (!GetUint(value, "peer", peer) || !GetUint(value, "count", count)) {
+      return LineError(line_number, "recirc missing 'peer' or 'count'");
+    }
+    op.peer = static_cast<ClientId>(peer);
+    op.detail = static_cast<std::uint8_t>(count);
+  }
+  run.ops.push_back(op);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<EventsDocument> ParseEventsJsonl(std::string_view text) {
+  EventsDocument document;
+  bool saw_header = false;
+  std::size_t line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, end == std::string_view::npos ? std::string_view::npos : end - pos);
+    pos = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    Result<JsonValue> parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      return LineError(line_number, parsed.status().ToString());
+    }
+    const JsonValue& value = *parsed;
+    const JsonValue* type = value.FindString("type");
+    if (type == nullptr) {
+      return LineError(line_number, "missing 'type'");
+    }
+    const std::string& type_name = type->AsString();
+    if (type_name == "header") {
+      if (saw_header) {
+        return LineError(line_number, "duplicate header");
+      }
+      const JsonValue* schema = value.FindString("schema");
+      if (schema == nullptr) {
+        return LineError(line_number, "header missing 'schema'");
+      }
+      if (schema->AsString() != kEventsSchema) {
+        return LineError(line_number, "unsupported schema '" + schema->AsString() + "'");
+      }
+      if (const JsonValue* version = value.FindString("coopfs_version"); version != nullptr) {
+        document.coopfs_version = version->AsString();
+      }
+      GetUint(value, "seed", document.metadata.seed);
+      GetUint(value, "trace_events", document.metadata.trace_events);
+      if (const JsonValue* workload = value.FindString("workload"); workload != nullptr) {
+        document.metadata.workload = workload->AsString();
+      }
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) {
+      return LineError(line_number, "first line must be the header");
+    }
+    if (type_name == "run") {
+      std::uint64_t run_index = 0;
+      std::uint64_t num_clients = 0;
+      const JsonValue* policy = value.FindString("policy");
+      if (policy == nullptr || !GetUint(value, "run", run_index) ||
+          !GetUint(value, "num_clients", num_clients)) {
+        return LineError(line_number, "run missing 'run', 'policy', or 'num_clients'");
+      }
+      if (run_index != document.runs.size()) {
+        return LineError(line_number, "run index out of order");
+      }
+      TraceRun run;
+      run.policy = policy->AsString();
+      run.num_clients = static_cast<std::uint32_t>(num_clients);
+      document.runs.push_back(std::move(run));
+      continue;
+    }
+    if (document.runs.empty()) {
+      return LineError(line_number, "record before any run line");
+    }
+    std::uint64_t run_index = 0;
+    if (!GetUint(value, "run", run_index) || run_index != document.runs.size() - 1) {
+      return LineError(line_number, "record 'run' does not match current run");
+    }
+    TraceRun& run = document.runs.back();
+    if (type_name == "read") {
+      COOPFS_RETURN_IF_ERROR(ParseReadLine(value, line_number, run));
+      continue;
+    }
+    if (TraceOpKind kind; OpKindFromTypeName(type_name, kind)) {
+      COOPFS_RETURN_IF_ERROR(ParseOpLine(value, kind, line_number, run));
+      continue;
+    }
+    return LineError(line_number, "unknown record type '" + type_name + "'");
+  }
+  if (!saw_header) {
+    return Status::DataLoss("events document has no header line");
+  }
+  return document;
+}
+
+Status ValidateEventsDocument(std::string_view text) {
+  return ParseEventsJsonl(text).status();
+}
+
+std::string PerfettoTraceJson(const std::vector<TraceRun>& runs) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("displayTimeUnit").Value("ms");
+  json.Key("traceEvents").BeginArray();
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const TraceRun& run = runs[r];
+    json.BeginObject();
+    json.Key("name").Value("process_name");
+    json.Key("ph").Value("M");
+    json.Key("pid").Value(static_cast<std::uint64_t>(r));
+    json.Key("args").BeginObject().Key("name").Value(run.policy).EndObject();
+    json.EndObject();
+    for (std::uint32_t c = 0; c < run.num_clients; ++c) {
+      json.BeginObject();
+      json.Key("name").Value("thread_name");
+      json.Key("ph").Value("M");
+      json.Key("pid").Value(static_cast<std::uint64_t>(r));
+      json.Key("tid").Value(static_cast<std::uint64_t>(c));
+      json.Key("args")
+          .BeginObject()
+          .Key("name")
+          .Value("client " + std::to_string(c))
+          .EndObject();
+      json.EndObject();
+    }
+    std::size_t ri = 0;
+    std::size_t oi = 0;
+    while (ri < run.reads.size() || oi < run.ops.size()) {
+      const bool take_read =
+          oi >= run.ops.size() ||
+          (ri < run.reads.size() && run.reads[ri].seq < run.ops[oi].seq);
+      if (take_read) {
+        const ReadSpan& span = run.reads[ri++];
+        json.BeginObject();
+        json.Key("name").Value("read " + span.block.ToString());
+        json.Key("cat").Value(std::string("read,") + CacheLevelSchemaName(span.level));
+        json.Key("ph").Value("X");
+        json.Key("ts").Value(static_cast<std::int64_t>(span.timestamp));
+        json.Key("dur").Value(static_cast<std::int64_t>(span.latency_us));
+        json.Key("pid").Value(static_cast<std::uint64_t>(r));
+        json.Key("tid").Value(static_cast<std::uint64_t>(span.client));
+        json.Key("args").BeginObject();
+        json.Key("level").Value(CacheLevelSchemaName(span.level));
+        json.Key("hops").Value(static_cast<std::uint64_t>(span.hops));
+        json.Key("event_index").Value(span.event_index);
+        json.Key("counted").Value(span.counted);
+        if (span.forward_holder != kNoClient) {
+          json.Key("holder").Value(static_cast<std::uint64_t>(span.forward_holder));
+        }
+        if (span.recirculations != 0) {
+          json.Key("recirculations").Value(static_cast<std::uint64_t>(span.recirculations));
+        }
+        json.EndObject();
+        json.EndObject();
+      } else {
+        const OpRecord& op = run.ops[oi++];
+        const char* kind_name = kOpTypeNames[static_cast<std::size_t>(op.kind)];
+        json.BeginObject();
+        json.Key("name").Value(std::string(kind_name) + " " + op.block.ToString());
+        json.Key("cat").Value(kind_name);
+        json.Key("ph").Value("i");
+        json.Key("ts").Value(static_cast<std::int64_t>(op.timestamp));
+        json.Key("pid").Value(static_cast<std::uint64_t>(r));
+        if (op.client != kNoClient) {
+          json.Key("tid").Value(static_cast<std::uint64_t>(op.client));
+          json.Key("s").Value("t");
+        } else {
+          json.Key("tid").Value(std::uint64_t{0});
+          json.Key("s").Value("p");
+        }
+        json.Key("args").BeginObject();
+        json.Key("event_index").Value(op.event_index);
+        if (op.kind == TraceOpKind::kInvalidation && op.peer != kNoClient) {
+          json.Key("writer").Value(static_cast<std::uint64_t>(op.peer));
+        }
+        if (op.kind == TraceOpKind::kRecirculation) {
+          json.Key("peer").Value(static_cast<std::uint64_t>(op.peer));
+          json.Key("count").Value(static_cast<std::uint64_t>(op.detail));
+        }
+        json.EndObject();
+        json.EndObject();
+      }
+    }
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+Status WritePerfettoTrace(const std::vector<TraceRun>& runs, const std::string& path) {
+  return WriteTextFile(path, PerfettoTraceJson(runs));
+}
+
+}  // namespace coopfs

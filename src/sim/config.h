@@ -9,6 +9,8 @@
 
 namespace coopfs {
 
+class TraceRecorder;
+
 // How client writes reach the server (extension; the paper assumes
 // write-through, §3, and argues the choice does not affect read results).
 enum class WritePolicy {
@@ -63,6 +65,14 @@ struct SimulationConfig {
   // events replayed, forwards, recirculations, invalidations, directory
   // ops). When false no counter is touched on any path.
   bool collect_counters = true;
+
+  // Event-level trace recording (src/obs/trace_recorder.h): when non-null,
+  // the run appends one ReadSpan per replayed read plus discrete op records
+  // to this recorder. Null (the default) compiles every hook down to a
+  // pointer check. The recorder is not synchronized: configs of jobs that
+  // run concurrently (RunSimulationsParallel) must each point at their own
+  // recorder, or at null.
+  TraceRecorder* trace_recorder = nullptr;
 
   SimulationConfig& WithClientCacheMiB(std::size_t mib) {
     client_cache_blocks = BytesToBlocks(MiB(mib));

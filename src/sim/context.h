@@ -20,6 +20,7 @@
 #include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/model/server_load.h"
+#include "src/obs/trace_recorder.h"
 #include "src/sim/config.h"
 #include "src/sim/counters.h"
 
@@ -32,9 +33,13 @@ class SimContext {
       : config_(config),
         num_clients_(num_clients),
         rng_(config.seed),
-        counters_enabled_(config.collect_counters) {
+        counters_enabled_(config.collect_counters),
+        tracer_(config.trace_recorder) {
     if (counters_enabled_) {
       directory_.set_op_counter(&counters_.directory_ops);
+    }
+    if (tracer_ != nullptr) {
+      directory_.set_observer(tracer_);
     }
     client_caches_.reserve(num_clients);
     for (std::uint32_t c = 0; c < num_clients; ++c) {
@@ -104,14 +109,49 @@ class SimContext {
     }
   }
 
+  // ---- Event-level tracing (no-ops unless a recorder is attached) ----
+  // The Simulator drives span open/close directly on the recorder; these
+  // hooks are the policy-facing annotation points. See trace_recorder.h.
+  TraceRecorder* tracer() { return tracer_; }
+
+  // Annotates the open read span with the remote client whose memory
+  // supplied the data. Policies with remote hits the server never sees
+  // (private remote caches, hash partitions) call this directly; server-
+  // forwarded hits go through ChargeRemoteClientHit below.
+  void TraceForward(ClientId holder) {
+    if (tracer_ != nullptr) {
+      tracer_->AnnotateForward(holder);
+    }
+  }
+  void TraceWrite(ClientId writer, BlockId block) {
+    if (tracer_ != nullptr) {
+      tracer_->RecordWrite(writer, block);
+    }
+  }
+  // `writer` is kNoClient for whole-file deletes.
+  void TraceInvalidation(BlockId block, ClientId holder, ClientId writer) {
+    if (tracer_ != nullptr) {
+      tracer_->RecordInvalidation(block, holder, writer);
+    }
+  }
+  // `count` is the recirculation count remaining on the forwarded copy.
+  void TraceRecirculation(ClientId from, ClientId to, BlockId block, int count) {
+    if (tracer_ != nullptr) {
+      tracer_->RecordRecirculation(from, to, block, count);
+    }
+  }
+
   // ---- Server-load charging (no-ops during warm-up) ----
   void ChargeServerMemoryHit() {
     if (accounting_) {
       server_load_.ChargeServerMemoryHit();
     }
   }
-  void ChargeRemoteClientHit() {
+  // `holder` is the client the server forwarded the read to (recorded on the
+  // open trace span; pass kNoClient only if genuinely unknown).
+  void ChargeRemoteClientHit(ClientId holder) {
     CountRemoteForward();
+    TraceForward(holder);
     if (accounting_) {
       server_load_.ChargeRemoteClientHit();
     }
@@ -198,6 +238,7 @@ class SimContext {
   WriteStats write_stats_;
   SimCounters counters_;
   bool counters_enabled_ = true;
+  TraceRecorder* tracer_ = nullptr;
 
   std::unordered_set<std::uint64_t> seen_blocks_;
   std::unordered_map<FileId, std::vector<BlockId>> file_blocks_;

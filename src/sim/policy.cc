@@ -75,7 +75,7 @@ std::optional<ReadOutcome> PolicyBase::MaybeServeFromDirtyHolder(ClientId client
       // The server recalls/forwards from the dirty client: request to
       // server, forward to holder, data to requester (3 hops) — exactly
       // the DASH dirty-line forwarding of paper §5.
-      ctx().ChargeRemoteClientHit();
+      ctx().ChargeRemoteClientHit(holder);
       CacheLocally(client, block);
       return ReadOutcome{CacheLevel::kRemoteClient, 3, true};
     }
@@ -110,6 +110,7 @@ void PolicyBase::InstallInServerCache(BlockId block) {
 void PolicyBase::Write(ClientId client, BlockId block) {
   ctx().NoteBlock(block);
   ctx().CountWrite();
+  ctx().TraceWrite(client, block);
 
   // Write-invalidate: every other client copy dies; one small invalidation
   // message per copy is charged to the server ("Other" in Figure 6). A
@@ -125,6 +126,7 @@ void PolicyBase::Write(ClientId client, BlockId block) {
     }
     DropLocal(holder, block);
     ctx().CountInvalidation();
+    ctx().TraceInvalidation(block, holder, client);
     ctx().ChargeSmallMessages(1);
   }
   OnInvalidateExtra(block, client);
@@ -174,6 +176,7 @@ void PolicyBase::Delete(ClientId client, FileId file) {
       }
       ctx().client_cache(holder).Erase(block);
       ctx().CountInvalidation();
+      ctx().TraceInvalidation(block, holder, kNoClient);
       ctx().ChargeSmallMessages(1);
     }
     ctx().directory().EraseBlock(block);

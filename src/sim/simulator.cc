@@ -43,6 +43,13 @@ Result<SimulationResult> Simulator::Run(Policy& policy, const ContextInspector& 
                      policy.ServerCacheBlocks(config_));
   policy.Attach(context);
 
+  // Event-level tracing (src/obs/trace_recorder.h). The simulator opens and
+  // closes read spans itself; policies annotate them through SimContext.
+  TraceRecorder* tracer = config_.trace_recorder;
+  if (tracer != nullptr) {
+    tracer->BeginRun(policy.Name(), num_clients_);
+  }
+
   SimulationResult result;
   result.policy_name = policy.Name();
   result.per_client.resize(num_clients_);
@@ -74,6 +81,9 @@ Result<SimulationResult> Simulator::Run(Policy& policy, const ContextInspector& 
     context.set_now(event.timestamp);
     context.set_accounting(index >= config_.warmup_events);
     context.CountEvent();
+    if (tracer != nullptr) {
+      tracer->SetEventContext(index, event.timestamp);
+    }
     if (event.client >= num_clients_) {
       return Status::InvalidArgument("event client id out of range at event " +
                                      std::to_string(index));
@@ -88,7 +98,14 @@ Result<SimulationResult> Simulator::Run(Policy& policy, const ContextInspector& 
     switch (event.type) {
       case EventType::kRead: {
         context.NoteBlock(event.block);
+        if (tracer != nullptr) {
+          tracer->BeginRead(event.client, event.block, context.accounting());
+        }
         const ReadOutcome outcome = policy.Read(event.client, event.block);
+        if (tracer != nullptr) {
+          tracer->EndRead(outcome.level, outcome.hops, outcome.data_transfer,
+                          OutcomeLatency(outcome, config_));
+        }
         if (context.accounting()) {
           const Micros latency = OutcomeLatency(outcome, config_);
           const auto level = static_cast<std::size_t>(outcome.level);

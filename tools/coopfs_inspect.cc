@@ -1,0 +1,448 @@
+// Offline analysis of "coopfs.events/v1" event traces.
+//
+// Consumes the JSONL documents written by --trace-events (bench binaries,
+// examples/algorithm_comparison) and answers the questions the aggregate
+// metrics document cannot: which blocks are hot, who forwards to whom, how
+// deep N-Chance recirculation chains run, and why a particular block missed.
+//
+// Usage: coopfs_inspect <command> [options] <events.jsonl>
+//   summary                       per-run overview (default command)
+//   latency                       per-level latency histograms per run
+//   hot-blocks [--top N]          most-read blocks with hit-level breakdown
+//   forwards                      per-client forwarding matrix (who served whom)
+//   recirc                        N-Chance recirculation-depth distribution
+//   block <fF:bB>                 chronological post-mortem for one block
+//   export-perfetto <out.json>    convert to Chrome trace_event JSON
+// Options:
+//   --run N        restrict to run index N (default: all runs)
+//   --top N        hot-blocks list length (default 20)
+// See docs/observability.md for the schema.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/format.h"
+#include "src/common/stats.h"
+#include "src/obs/trace_recorder.h"
+#include "src/obs/trace_sink.h"
+
+namespace coopfs {
+namespace {
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "coopfs_inspect: %s\n", message.c_str());
+  std::exit(1);
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: coopfs_inspect <command> [options] <events.jsonl>\n"
+               "commands:\n"
+               "  summary                     per-run overview (default)\n"
+               "  latency                     per-level latency histograms\n"
+               "  hot-blocks [--top N]        most-read blocks\n"
+               "  forwards                    per-client forwarding matrix\n"
+               "  recirc                      recirculation-depth distribution\n"
+               "  block <fF:bB>               post-mortem for one block\n"
+               "  export-perfetto <out.json>  convert to Chrome trace_event JSON\n"
+               "options: --run N (restrict to one run index)\n");
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    Die("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    Die("error reading " + path);
+  }
+  return std::move(buffer).str();
+}
+
+// Parses "f12:b3" (the BlockId::ToString form); also accepts "12:3".
+bool ParseBlockRef(const std::string& text, BlockId& out) {
+  const char* cursor = text.c_str();
+  if (*cursor == 'f') {
+    ++cursor;
+  }
+  char* end = nullptr;
+  const unsigned long long file = std::strtoull(cursor, &end, 10);
+  if (end == cursor || *end != ':') {
+    return false;
+  }
+  cursor = end + 1;
+  if (*cursor == 'b') {
+    ++cursor;
+  }
+  const unsigned long long block = std::strtoull(cursor, &end, 10);
+  if (end == cursor || *end != '\0') {
+    return false;
+  }
+  out = BlockId{static_cast<FileId>(file), static_cast<BlockIndex>(block)};
+  return true;
+}
+
+std::string RunLabel(const EventsDocument& document, std::size_t run_index) {
+  const TraceRun& run = document.runs[run_index];
+  return "run " + std::to_string(run_index) + " (" + run.policy + ", " +
+         std::to_string(run.num_clients) + " clients)";
+}
+
+std::uint64_t CountOps(const TraceRun& run, TraceOpKind kind) {
+  std::uint64_t count = 0;
+  for (const OpRecord& op : run.ops) {
+    count += op.kind == kind ? 1 : 0;
+  }
+  return count;
+}
+
+// ---- summary ----
+
+void CommandSummary(const EventsDocument& document, const std::vector<std::size_t>& run_indices) {
+  TableFormatter table({"Run", "Policy", "Reads", "Counted", "Avg lat", "Local", "Remote",
+                        "ServerMem", "Disk", "Writes", "Invals", "Recircs"});
+  for (std::size_t run_index : run_indices) {
+    const TraceRun& run = document.runs[run_index];
+    const TraceRecorder::LevelTotals totals = TraceRecorder::CountedTotals(run);
+    double total_time = 0.0;
+    for (double t : totals.time_us) {
+      total_time += t;
+    }
+    const double counted = static_cast<double>(totals.counted_reads);
+    auto fraction = [&](CacheLevel level) {
+      const auto i = static_cast<std::size_t>(level);
+      return counted == 0.0 ? 0.0 : static_cast<double>(totals.counts[i]) / counted;
+    };
+    table.AddRow({std::to_string(run_index), run.policy, std::to_string(run.reads.size()),
+                  std::to_string(totals.counted_reads),
+                  counted == 0.0 ? "-" : FormatMicros(total_time / counted),
+                  FormatPercent(fraction(CacheLevel::kLocalMemory)),
+                  FormatPercent(fraction(CacheLevel::kRemoteClient)),
+                  FormatPercent(fraction(CacheLevel::kServerMemory)),
+                  FormatPercent(fraction(CacheLevel::kServerDisk)),
+                  std::to_string(CountOps(run, TraceOpKind::kWrite)),
+                  std::to_string(CountOps(run, TraceOpKind::kInvalidation)),
+                  std::to_string(CountOps(run, TraceOpKind::kRecirculation))});
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+// ---- latency ----
+
+void CommandLatency(const EventsDocument& document, const std::vector<std::size_t>& run_indices) {
+  for (std::size_t run_index : run_indices) {
+    std::array<LogHistogram, kNumCacheLevels> histograms;
+    const TraceRun& run = document.runs[run_index];
+    for (const ReadSpan& span : run.reads) {
+      if (span.counted) {
+        histograms[static_cast<std::size_t>(span.level)].Add(
+            static_cast<double>(span.latency_us));
+      }
+    }
+    std::printf("=== %s ===\n", RunLabel(document, run_index).c_str());
+    for (std::size_t level = 0; level < kNumCacheLevels; ++level) {
+      const LogHistogram& histogram = histograms[level];
+      std::printf("--- %s: %llu counted reads", CacheLevelName(static_cast<CacheLevel>(level)),
+                  static_cast<unsigned long long>(histogram.count()));
+      if (histogram.count() > 0) {
+        std::printf(", p50 %s, p99 %s\n%s", FormatMicros(histogram.Quantile(0.5)).c_str(),
+                    FormatMicros(histogram.Quantile(0.99)).c_str(),
+                    histogram.ToString().c_str());
+      } else {
+        std::printf("\n");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+// ---- hot-blocks ----
+
+void CommandHotBlocks(const EventsDocument& document, const std::vector<std::size_t>& run_indices,
+                      std::size_t top_n) {
+  struct BlockStats {
+    std::uint64_t reads = 0;
+    std::array<std::uint64_t, kNumCacheLevels> by_level{};
+    double time_us = 0.0;
+  };
+  for (std::size_t run_index : run_indices) {
+    const TraceRun& run = document.runs[run_index];
+    std::map<BlockId, BlockStats> blocks;
+    for (const ReadSpan& span : run.reads) {
+      BlockStats& stats = blocks[span.block];
+      ++stats.reads;
+      ++stats.by_level[static_cast<std::size_t>(span.level)];
+      stats.time_us += static_cast<double>(span.latency_us);
+    }
+    std::vector<std::pair<BlockId, BlockStats>> ranked(blocks.begin(), blocks.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second.reads != b.second.reads) {
+        return a.second.reads > b.second.reads;
+      }
+      return a.first < b.first;  // Deterministic order among ties.
+    });
+    if (ranked.size() > top_n) {
+      ranked.resize(top_n);
+    }
+    std::printf("=== %s: top %zu of %zu blocks by reads ===\n",
+                RunLabel(document, run_index).c_str(), ranked.size(), blocks.size());
+    TableFormatter table(
+        {"Block", "Reads", "Local", "Remote", "ServerMem", "Disk", "Total time"});
+    for (const auto& [block, stats] : ranked) {
+      table.AddRow({block.ToString(), std::to_string(stats.reads),
+                    std::to_string(stats.by_level[0]), std::to_string(stats.by_level[1]),
+                    std::to_string(stats.by_level[2]), std::to_string(stats.by_level[3]),
+                    FormatMicros(stats.time_us)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+}
+
+// ---- forwards ----
+
+void CommandForwards(const EventsDocument& document, const std::vector<std::size_t>& run_indices) {
+  for (std::size_t run_index : run_indices) {
+    const TraceRun& run = document.runs[run_index];
+    // matrix[requester][holder] = remote-client hits served by holder.
+    std::map<ClientId, std::map<ClientId, std::uint64_t>> matrix;
+    std::uint64_t forwarded = 0;
+    for (const ReadSpan& span : run.reads) {
+      if (span.forward_holder != kNoClient) {
+        ++matrix[span.client][span.forward_holder];
+        ++forwarded;
+      }
+    }
+    std::printf("=== %s: %llu forwarded reads ===\n", RunLabel(document, run_index).c_str(),
+                static_cast<unsigned long long>(forwarded));
+    if (forwarded == 0) {
+      std::printf("(no remote-client forwards recorded)\n\n");
+      continue;
+    }
+    TableFormatter table({"Requester", "Holder", "Reads", "Share"});
+    for (const auto& [requester, holders] : matrix) {
+      for (const auto& [holder, count] : holders) {
+        table.AddRow({"client " + std::to_string(requester), "client " + std::to_string(holder),
+                      std::to_string(count),
+                      FormatPercent(static_cast<double>(count) / static_cast<double>(forwarded))});
+      }
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+}
+
+// ---- recirc ----
+
+void CommandRecirc(const EventsDocument& document, const std::vector<std::size_t>& run_indices) {
+  for (std::size_t run_index : run_indices) {
+    const TraceRun& run = document.runs[run_index];
+    // detail = recirculation count remaining on the forwarded copy; the
+    // paper's N-Chance uses N=2, so expected keys are small integers.
+    std::map<unsigned, std::uint64_t> by_depth;
+    std::uint64_t total = 0;
+    for (const OpRecord& op : run.ops) {
+      if (op.kind == TraceOpKind::kRecirculation) {
+        ++by_depth[op.detail];
+        ++total;
+      }
+    }
+    std::printf("=== %s: %llu recirculations ===\n", RunLabel(document, run_index).c_str(),
+                static_cast<unsigned long long>(total));
+    if (total == 0) {
+      std::printf("(no N-Chance recirculations recorded)\n\n");
+      continue;
+    }
+    TableFormatter table({"Count remaining", "Recirculations", "Share"});
+    for (const auto& [depth, count] : by_depth) {
+      table.AddRow({std::to_string(depth), std::to_string(count),
+                    FormatPercent(static_cast<double>(count) / static_cast<double>(total))});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+}
+
+// ---- block post-mortem ----
+
+void CommandBlock(const EventsDocument& document, const std::vector<std::size_t>& run_indices,
+                  const BlockId& block) {
+  for (std::size_t run_index : run_indices) {
+    const TraceRun& run = document.runs[run_index];
+    // Merge this block's reads and ops back into sequence order, the same
+    // interleaving the JSONL document stores.
+    struct Row {
+      std::uint64_t seq;
+      std::vector<std::string> cells;
+    };
+    std::vector<Row> rows;
+    std::uint64_t disk_reads = 0;
+    for (const ReadSpan& span : run.reads) {
+      if (span.block != block) {
+        continue;
+      }
+      disk_reads += span.level == CacheLevel::kServerDisk ? 1 : 0;
+      std::string detail = std::string(CacheLevelName(span.level));
+      if (span.forward_holder != kNoClient) {
+        detail += " from client " + std::to_string(span.forward_holder);
+      }
+      rows.push_back({span.seq,
+                      {std::to_string(span.event_index), "read",
+                       "client " + std::to_string(span.client), detail,
+                       FormatMicros(static_cast<double>(span.latency_us)),
+                       span.counted ? "yes" : "warm-up"}});
+    }
+    for (const OpRecord& op : run.ops) {
+      if (op.block != block) {
+        continue;
+      }
+      std::string actor =
+          op.client == kNoClient ? std::string("-") : "client " + std::to_string(op.client);
+      std::string detail;
+      switch (op.kind) {
+        case TraceOpKind::kInvalidation:
+          detail = op.peer == kNoClient ? std::string("by delete")
+                                        : "by writer client " + std::to_string(op.peer);
+          break;
+        case TraceOpKind::kRecirculation:
+          detail = "to client " + std::to_string(op.peer) + ", count " +
+                   std::to_string(op.detail);
+          break;
+        default:
+          break;
+      }
+      rows.push_back({op.seq,
+                      {std::to_string(op.event_index), TraceOpKindName(op.kind), actor, detail,
+                       "-", "-"}});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.seq < b.seq; });
+    std::printf("=== %s: %s, %zu records, %llu disk reads ===\n",
+                RunLabel(document, run_index).c_str(), block.ToString().c_str(), rows.size(),
+                static_cast<unsigned long long>(disk_reads));
+    if (rows.empty()) {
+      std::printf("(block never touched in this run)\n\n");
+      continue;
+    }
+    TableFormatter table({"Event", "Kind", "Client", "Detail", "Latency", "Counted"});
+    for (const Row& row : rows) {
+      table.AddRow(row.cells);
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace coopfs
+
+int main(int argc, char** argv) {
+  using namespace coopfs;
+
+  std::string command = "summary";
+  std::string input_path;
+  std::string command_arg;
+  std::size_t top_n = 20;
+  long run_filter = -1;
+
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_n = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--run") == 0 && i + 1 < argc) {
+      run_filter = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage();
+      return 0;
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+
+  static constexpr const char* kCommands[] = {"summary", "latency",  "hot-blocks",
+                                              "forwards", "recirc", "block",
+                                              "export-perfetto"};
+  std::size_t cursor = 0;
+  if (cursor < positional.size()) {
+    for (const char* name : kCommands) {
+      if (positional[cursor] == name) {
+        command = positional[cursor++];
+        break;
+      }
+    }
+  }
+  if ((command == "block" || command == "export-perfetto") && cursor < positional.size()) {
+    command_arg = positional[cursor++];
+  }
+  if (cursor < positional.size()) {
+    input_path = positional[cursor++];
+  }
+  if (input_path.empty() || cursor != positional.size()) {
+    PrintUsage();
+    return 1;
+  }
+
+  const std::string text = ReadWholeFile(input_path);
+  Result<EventsDocument> parsed = ParseEventsJsonl(text);
+  if (!parsed.ok()) {
+    Die(input_path + ": " + parsed.status().ToString());
+  }
+  const EventsDocument& document = *parsed;
+  std::printf("%s: %s, coopfs %s, seed %llu, %llu trace events%s%s, %zu runs\n\n",
+              input_path.c_str(), std::string(kEventsSchema).c_str(),
+              document.coopfs_version.c_str(),
+              static_cast<unsigned long long>(document.metadata.seed),
+              static_cast<unsigned long long>(document.metadata.trace_events),
+              document.metadata.workload.empty() ? "" : ", workload ",
+              document.metadata.workload.c_str(), document.runs.size());
+
+  std::vector<std::size_t> run_indices;
+  if (run_filter >= 0) {
+    if (static_cast<std::size_t>(run_filter) >= document.runs.size()) {
+      Die("--run " + std::to_string(run_filter) + " out of range (document has " +
+          std::to_string(document.runs.size()) + " runs)");
+    }
+    run_indices.push_back(static_cast<std::size_t>(run_filter));
+  } else {
+    for (std::size_t i = 0; i < document.runs.size(); ++i) {
+      run_indices.push_back(i);
+    }
+  }
+
+  if (command == "summary") {
+    CommandSummary(document, run_indices);
+  } else if (command == "latency") {
+    CommandLatency(document, run_indices);
+  } else if (command == "hot-blocks") {
+    CommandHotBlocks(document, run_indices, top_n);
+  } else if (command == "forwards") {
+    CommandForwards(document, run_indices);
+  } else if (command == "recirc") {
+    CommandRecirc(document, run_indices);
+  } else if (command == "block") {
+    BlockId block;
+    if (command_arg.empty() || !ParseBlockRef(command_arg, block)) {
+      Die("block command needs a block reference like f12:b3");
+    }
+    CommandBlock(document, run_indices, block);
+  } else if (command == "export-perfetto") {
+    if (command_arg.empty()) {
+      Die("export-perfetto needs an output path");
+    }
+    std::vector<TraceRun> selected;
+    for (std::size_t i : run_indices) {
+      selected.push_back(document.runs[i]);
+    }
+    if (Status status = WritePerfettoTrace(selected, command_arg); !status.ok()) {
+      Die("perfetto export to " + command_arg + " failed: " + status.ToString());
+    }
+    std::printf("wrote perfetto trace: %s (%zu runs, open at ui.perfetto.dev)\n",
+                command_arg.c_str(), selected.size());
+  }
+  return 0;
+}
