@@ -7,7 +7,9 @@
 #include <optional>
 
 #include "src/common/format.h"
+#include "src/common/profiler.h"
 #include "src/obs/metrics_exporter.h"
+#include "src/obs/snapshot_sampler.h"
 #include "src/obs/trace_recorder.h"
 #include "src/obs/trace_sink.h"
 #include "src/trace/trace_stats.h"
@@ -29,7 +31,16 @@ BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
       options.trace_events_out = argv[i + 1];
     } else if (std::strcmp(argv[i], "--trace-perfetto") == 0) {
       options.trace_perfetto_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--timeseries") == 0) {
+      options.timeseries_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--sample-interval") == 0) {
+      options.sample_interval = static_cast<Micros>(std::strtoll(argv[i + 1], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      options.profile_out = argv[i + 1];
     }
+  }
+  if (!options.profile_out.empty()) {
+    Profiler::Enable(true);
   }
   // Environment override so `for b in bench/*; do $b; done` can be scaled.
   if (const char* env = std::getenv("COOPFS_BENCH_EVENTS"); env != nullptr) {
@@ -86,6 +97,8 @@ SimulationConfig PaperConfig(const BenchOptions& options, std::uint64_t trace_ev
   config.warmup_events = options.WarmupFor(trace_events);
   config.seed = options.seed;
   config.trace_recorder = BenchTraceRecorder(options);
+  config.snapshot_sampler = BenchSnapshotSampler(options);
+  config.sample_interval = options.sample_interval;
   return config;
 }
 
@@ -95,6 +108,46 @@ TraceRecorder* BenchTraceRecorder(const BenchOptions& options) {
   }
   static auto* recorder = new TraceRecorder();
   return recorder;
+}
+
+SnapshotSampler* BenchSnapshotSampler(const BenchOptions& options) {
+  if (!options.sampling_requested()) {
+    return nullptr;
+  }
+  static auto* sampler = new SnapshotSampler();
+  return sampler;
+}
+
+void MaybeWriteTimeseries(const BenchOptions& options, const std::string& workload) {
+  SnapshotSampler* sampler = BenchSnapshotSampler(options);
+  if (sampler == nullptr) {
+    return;
+  }
+  TraceExportMetadata metadata;
+  metadata.seed = options.seed;
+  metadata.trace_events = options.events;
+  metadata.workload = workload;
+  if (Status status = WriteTimeseriesJsonl(sampler->runs(), metadata, options.timeseries_out);
+      !status.ok()) {
+    std::fprintf(stderr, "timeseries export to %s failed: %s\n", options.timeseries_out.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("wrote timeseries: %s (%zu runs)\n", options.timeseries_out.c_str(),
+              sampler->runs().size());
+}
+
+void MaybeWriteProfile(const BenchOptions& options) {
+  if (options.profile_out.empty()) {
+    return;
+  }
+  if (Status status = Profiler::WriteFile(options.profile_out); !status.ok()) {
+    std::fprintf(stderr, "profile export to %s failed: %s\n", options.profile_out.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("wrote profile: %s\n\n%s", options.profile_out.c_str(),
+              Profiler::SelfTimeTable(20).c_str());
 }
 
 void MaybeWriteTraceEvents(const BenchOptions& options, const std::string& workload) {
@@ -157,6 +210,8 @@ void PrintBanner(const std::string& figure, const std::string& what, const Bench
 void MaybeWriteJson(const BenchOptions& options, const SimulationConfig& config,
                     const std::vector<SimulationResult>& results) {
   MaybeWriteTraceEvents(options);
+  MaybeWriteTimeseries(options);
+  MaybeWriteProfile(options);
   if (options.json_out.empty()) {
     return;
   }

@@ -10,6 +10,13 @@
 //                          coopfs.events/v1 JSONL document (docs/observability.md)
 //   --trace-perfetto PATH  also write the runs as Chrome trace_event JSON for
 //                          ui.perfetto.dev
+//   --timeseries PATH      sample simulation state periodically and write a
+//                          coopfs.timeseries/v1 JSONL document
+//   --sample-interval N    simulated microseconds between samples (default
+//                          3600000000 = 1 simulated hour)
+//   --profile PATH         time the simulator's own phases and write a
+//                          coopfs.profile/v1 JSON document (also prints the
+//                          self-time table)
 // Warm-up is scaled as in the paper: the first 4/7 of the trace (400k of
 // 700k accesses).
 #ifndef COOPFS_BENCH_BENCH_COMMON_H_
@@ -26,6 +33,8 @@
 
 namespace coopfs {
 
+class SnapshotSampler;
+
 struct BenchOptions {
   std::uint64_t events = 700'000;
   std::uint64_t seed = 42;
@@ -33,12 +42,21 @@ struct BenchOptions {
   std::string json_out;            // --json PATH: empty = no structured export.
   std::string trace_events_out;    // --trace-events PATH: empty = no recording.
   std::string trace_perfetto_out;  // --trace-perfetto PATH: empty = none.
+  std::string timeseries_out;      // --timeseries PATH: empty = no sampling.
+  std::string profile_out;         // --profile PATH: empty = profiler off.
+  // --sample-interval N: simulated µs between samples (1 simulated hour; the
+  // synthetic Sprite-like workload spans two simulated days).
+  Micros sample_interval = 3'600'000'000;
 
+  // Parses flags; also enables the self-profiler process-wide when --profile
+  // was given, so spans cover workload generation as well as the runs.
   static BenchOptions FromArgs(int argc, char** argv);
 
   bool tracing_requested() const {
     return !trace_events_out.empty() || !trace_perfetto_out.empty();
   }
+
+  bool sampling_requested() const { return !timeseries_out.empty(); }
 
   std::uint64_t WarmupFor(std::uint64_t num_events) const { return num_events * 4 / 7; }
 };
@@ -61,6 +79,21 @@ SimulationConfig PaperConfig(const BenchOptions& options, std::uint64_t trace_ev
 // sequentially, so sharing one recorder across runs is safe here (each run
 // becomes one TraceRun in the exported document).
 TraceRecorder* BenchTraceRecorder(const BenchOptions& options);
+
+// The process-wide SnapshotSampler backing --timeseries, created on first
+// use; null when sampling was not requested. As with the recorder, bench
+// binaries run policies sequentially, so each run becomes one SnapshotRun.
+SnapshotSampler* BenchSnapshotSampler(const BenchOptions& options);
+
+// If --timeseries was given, writes the sampler's runs as validated
+// coopfs.timeseries/v1 JSONL, aborting on failure. Called by MaybeWriteJson;
+// standalone for binaries that do not export metrics.
+void MaybeWriteTimeseries(const BenchOptions& options, const std::string& workload = "sprite");
+
+// If --profile was given, writes the process's span tree as validated
+// coopfs.profile/v1 JSON and prints the self-time table. Called by
+// MaybeWriteJson; standalone for binaries that do not export metrics.
+void MaybeWriteProfile(const BenchOptions& options);
 
 // If --trace-events / --trace-perfetto was given, writes the recorder's
 // runs to the requested paths (validated coopfs.events/v1 JSONL and/or

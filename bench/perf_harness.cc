@@ -11,6 +11,17 @@
 //                            null-pointer check and must stay in the noise)
 //   * trace_export_jsonl   — serializing the recorded run to
 //                            coopfs.events/v1 JSONL (items = bytes)
+//   * replay_sampled_nchance — the N-Chance replay with a SnapshotSampler
+//                            attached at the default 1-simulated-hour
+//                            interval (vs. replay_serial_nchance: the state
+//                            sampling tax; a disabled sampler, like disabled
+//                            tracing and profiling, is a null-pointer check
+//                            and must keep replay_serial_* in the noise)
+//   * timeseries_export_jsonl — serializing the sampled run to
+//                            coopfs.timeseries/v1 JSONL (items = bytes)
+//   * replay_profiled_nchance — the N-Chance replay with the self-profiler
+//                            enabled (vs. replay_serial_nchance: the
+//                            per-span steady_clock cost when ON)
 //   * parallel_sweep_<t>   — RunSimulationsParallel over the Figure 4 job
 //                            list at 1, 2, and hardware threads
 //
@@ -35,8 +46,10 @@
 
 #include "bench/bench_common.h"
 #include "src/common/format.h"
+#include "src/common/profiler.h"
 #include "src/core/sweep.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/snapshot_sampler.h"
 #include "src/obs/trace_recorder.h"
 #include "src/obs/trace_sink.h"
 
@@ -145,6 +158,50 @@ int Run(int argc, char** argv) {
     const std::string jsonl = EventsToJsonl(recorder.runs(), metadata);
     report.series.push_back(
         MakeSeries("trace_export_jsonl", jsonl.size(), SecondsSince(export_start)));
+  }
+
+  // 3b. State-sampling overhead: the same replay with a SnapshotSampler at
+  //     the default interval, then the JSONL serialization of the samples.
+  {
+    SnapshotSampler sampler;
+    SimulationConfig sampled_config = config;
+    sampled_config.snapshot_sampler = &sampler;
+    sampled_config.sample_interval = options.sample_interval;
+    Simulator simulator(sampled_config, &trace);
+    const auto start = std::chrono::steady_clock::now();
+    const SimulationResult result = MustRun(simulator, PolicyKind::kNChance);
+    BenchSeries series = MakeSeries("replay_sampled_nchance", trace.size(), SecondsSince(start));
+    (void)result;
+    report.series.push_back(series);
+
+    TraceExportMetadata metadata;
+    metadata.seed = options.seed;
+    metadata.trace_events = options.events;
+    metadata.workload = "sprite";
+    const auto export_start = std::chrono::steady_clock::now();
+    const std::string jsonl = TimeseriesToJsonl(sampler.runs(), metadata);
+    report.series.push_back(
+        MakeSeries("timeseries_export_jsonl", jsonl.size(), SecondsSince(export_start)));
+  }
+
+  // 3c. Self-profiling overhead: the same replay with the profiler ON. The
+  //     profiler-OFF cost is already measured — every replay_serial_* series
+  //     runs with the (disabled) spans compiled in.
+  {
+    const bool was_enabled = Profiler::enabled();
+    Profiler::Reset();
+    Profiler::Enable(true);
+    Simulator simulator(config, &trace);
+    const auto start = std::chrono::steady_clock::now();
+    const SimulationResult result = MustRun(simulator, PolicyKind::kNChance);
+    BenchSeries series =
+        MakeSeries("replay_profiled_nchance", trace.size(), SecondsSince(start));
+    (void)result;
+    report.series.push_back(series);
+    Profiler::Enable(was_enabled);
+    if (!was_enabled) {
+      Profiler::Reset();
+    }
   }
 
   // 4. Parallel sweep scaling: the Figure 4 job list (6 policies) at 1, 2,

@@ -4,14 +4,18 @@
 // Usage: algorithm_comparison [--events N] [--clients N] [--seed S]
 //                             [--client-mb MB] [--server-mb MB]
 //                             [--json PATH] [--trace-events PATH]
-//                             [--trace-perfetto PATH]
+//                             [--trace-perfetto PATH] [--timeseries PATH]
+//                             [--sample-interval US] [--profile PATH]
 //
 // --json also exports the runs as a coopfs.metrics/v1 document (see
 // docs/metrics_schema.md) for machine consumption. --trace-events records
 // every replayed event and writes a coopfs.events/v1 JSONL document (one
 // run per algorithm; see docs/observability.md) for `coopfs_inspect`;
 // --trace-perfetto writes the same runs as Chrome trace_event JSON for
-// ui.perfetto.dev.
+// ui.perfetto.dev. --timeseries samples simulation state every
+// --sample-interval simulated microseconds (default 1 simulated hour) into
+// a coopfs.timeseries/v1 JSONL document, and --profile times the run
+// itself into a coopfs.profile/v1 document.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,8 +23,10 @@
 #include <vector>
 
 #include "src/common/format.h"
+#include "src/common/profiler.h"
 #include "src/core/policy_factory.h"
 #include "src/obs/metrics_exporter.h"
+#include "src/obs/snapshot_sampler.h"
 #include "src/obs/trace_recorder.h"
 #include "src/obs/trace_sink.h"
 #include "src/sim/simulator.h"
@@ -72,6 +78,19 @@ int main(int argc, char** argv) {
   TraceRecorder recorder;
   if (!trace_events_out.empty() || !trace_perfetto_out.empty()) {
     config.trace_recorder = &recorder;
+  }
+
+  const std::string timeseries_out = StringFlag(argc, argv, "--timeseries");
+  SnapshotSampler sampler;
+  if (!timeseries_out.empty()) {
+    config.snapshot_sampler = &sampler;
+    config.sample_interval = static_cast<Micros>(
+        FlagValue(argc, argv, "--sample-interval", 3'600'000'000));  // 1 sim. hour.
+  }
+
+  const std::string profile_out = StringFlag(argc, argv, "--profile");
+  if (!profile_out.empty()) {
+    Profiler::Enable(true);
   }
 
   Simulator simulator(config, &trace);
@@ -141,6 +160,31 @@ int main(int argc, char** argv) {
       std::printf("wrote perfetto trace: %s (open at ui.perfetto.dev)\n",
                   trace_perfetto_out.c_str());
     }
+  }
+
+  if (!timeseries_out.empty()) {
+    TraceExportMetadata metadata;
+    metadata.seed = workload.seed;
+    metadata.trace_events = workload.num_events;
+    metadata.workload = "sprite";
+    if (Status status = WriteTimeseriesJsonl(sampler.runs(), metadata, timeseries_out);
+        !status.ok()) {
+      std::fprintf(stderr, "timeseries export to %s failed: %s\n", timeseries_out.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote timeseries: %s (%zu runs)\n", timeseries_out.c_str(),
+                sampler.runs().size());
+  }
+
+  if (!profile_out.empty()) {
+    if (Status status = Profiler::WriteFile(profile_out); !status.ok()) {
+      std::fprintf(stderr, "profile export to %s failed: %s\n", profile_out.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote profile: %s\n\n%s", profile_out.c_str(),
+                Profiler::SelfTimeTable(20).c_str());
   }
   return 0;
 }

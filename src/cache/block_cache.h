@@ -155,6 +155,26 @@ class BlockCache {
     }
   }
 
+  // ---- Introspection gauges (state sampling; O(size), off the hot path) ----
+
+  // Entries currently recirculating (N-Chance copies in flight).
+  std::size_t RecirculatingCount() const {
+    std::size_t count = 0;
+    for (const auto& [key, entry] : entries_) {
+      count += entry.recirculating() ? 1 : 0;
+    }
+    return count;
+  }
+
+  // Entries holding dirty (unflushed) data under delayed writes.
+  std::size_t DirtyCount() const {
+    std::size_t count = 0;
+    for (const auto& [key, entry] : entries_) {
+      count += entry.dirty ? 1 : 0;
+    }
+    return count;
+  }
+
   // Removes every entry. (Used by tests.)
   void Clear() {
     lru_.Clear();

@@ -86,6 +86,27 @@ class Directory {
 
   std::size_t NumTrackedBlocks() const { return holders_.size(); }
 
+  // Singlet/duplicate split of the blocks clients currently cache (paper
+  // §2.4: N-Chance preserves singlets, so its duplicate fraction is the
+  // interesting gauge). O(tracked blocks); meant for state sampling, not
+  // the replay hot path. Blocks whose holder sets have emptied are skipped,
+  // so singlets + duplicates == blocks with >= 1 holder.
+  struct DuplicationCounts {
+    std::uint64_t singlets = 0;    // Exactly one client copy.
+    std::uint64_t duplicates = 0;  // Two or more client copies.
+  };
+  DuplicationCounts CountDuplication() const {
+    DuplicationCounts counts;
+    for (const auto& [packed, per_block] : holders_) {
+      if (per_block.holders.size() == 1) {
+        ++counts.singlets;
+      } else if (per_block.holders.size() >= 2) {
+        ++counts.duplicates;
+      }
+    }
+    return counts;
+  }
+
   // Visits every block with at least one holder (introspection/validation).
   template <typename Fn>
   void ForEachBlock(Fn&& visitor) const {

@@ -9,6 +9,7 @@
 
 namespace coopfs {
 
+class SnapshotSampler;
 class TraceRecorder;
 
 // How client writes reach the server (extension; the paper assumes
@@ -73,6 +74,19 @@ struct SimulationConfig {
   // run concurrently (RunSimulationsParallel) must each point at their own
   // recorder, or at null.
   TraceRecorder* trace_recorder = nullptr;
+
+  // Periodic state sampling (src/obs/snapshot_sampler.h): when non-null and
+  // `sample_interval` > 0, the run emits one StateSample per crossing of an
+  // interval boundary in simulated time, plus warm-up-end and run-end
+  // samples. Null (the default) compiles every hook down to a pointer
+  // check. Like the recorder, the sampler is not synchronized: concurrent
+  // jobs (RunSimulationsParallel) must each attach their own sampler.
+  SnapshotSampler* snapshot_sampler = nullptr;
+
+  // Interval between snapshot_sampler boundaries, in simulated
+  // microseconds; <= 0 restricts the sampler to warm-up-end and run-end
+  // samples only.
+  Micros sample_interval = 0;
 
   SimulationConfig& WithClientCacheMiB(std::size_t mib) {
     client_cache_blocks = BytesToBlocks(MiB(mib));

@@ -20,6 +20,7 @@
 #include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/model/server_load.h"
+#include "src/obs/snapshot_sampler.h"
 #include "src/obs/trace_recorder.h"
 #include "src/sim/config.h"
 #include "src/sim/counters.h"
@@ -34,7 +35,8 @@ class SimContext {
         num_clients_(num_clients),
         rng_(config.seed),
         counters_enabled_(config.collect_counters),
-        tracer_(config.trace_recorder) {
+        tracer_(config.trace_recorder),
+        sampler_(config.snapshot_sampler) {
     if (counters_enabled_) {
       directory_.set_op_counter(&counters_.directory_ops);
     }
@@ -121,6 +123,9 @@ class SimContext {
   void TraceForward(ClientId holder) {
     if (tracer_ != nullptr) {
       tracer_->AnnotateForward(holder);
+    }
+    if (sampler_ != nullptr) {
+      sampler_->NoteForward(holder);
     }
   }
   void TraceWrite(ClientId writer, BlockId block) {
@@ -239,6 +244,7 @@ class SimContext {
   SimCounters counters_;
   bool counters_enabled_ = true;
   TraceRecorder* tracer_ = nullptr;
+  SnapshotSampler* sampler_ = nullptr;
 
   std::unordered_set<std::uint64_t> seen_blocks_;
   std::unordered_map<FileId, std::vector<BlockId>> file_blocks_;

@@ -87,11 +87,23 @@ SimulationResult ApplyStackDeletion(const SimulationResult& result,
   adjusted.level_time_us[static_cast<std::size_t>(CacheLevel::kLocalMemory)] +=
       static_cast<double>(hidden_count) * local_time_us;
   // Per-client inferred hits: distribute proportionally to visible reads.
+  // Cumulative rounding (each client gets the increment of the running
+  // target) guarantees the per-client shares sum exactly to `hidden_count`,
+  // which independently rounding each share does not.
+  std::uint64_t visible_sum = 0;
+  for (const auto& client : adjusted.per_client) {
+    visible_sum += client.reads;
+  }
+  std::uint64_t cumulative_reads = 0;
+  std::uint64_t assigned = 0;
   for (auto& client : adjusted.per_client) {
-    const double client_hidden = static_cast<double>(client.reads) * hidden_local_hit_rate /
-                                 (1.0 - hidden_local_hit_rate);
-    client.reads += static_cast<std::uint64_t>(client_hidden + 0.5);
-    client.total_time_us += client_hidden * local_time_us;
+    cumulative_reads += client.reads;
+    const std::uint64_t cumulative_target =
+        visible_sum == 0 ? 0 : hidden_count * cumulative_reads / visible_sum;
+    const std::uint64_t share = cumulative_target - assigned;
+    assigned = cumulative_target;
+    client.reads += share;
+    client.total_time_us += static_cast<double>(share) * local_time_us;
   }
   adjusted.policy_name = result.policy_name;
   return adjusted;

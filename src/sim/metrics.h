@@ -65,6 +65,9 @@ struct SimulationResult {
   // Optional time series (SimulationConfig::timeline_interval > 0): one
   // point per elapsed interval of simulated time that saw at least one
   // counted read. Useful for warm-up inspection and diurnal-pattern plots.
+  // Derived from an internal SnapshotSampler pass; for zero-read intervals,
+  // state gauges, and per-client fairness use the full coopfs.timeseries/v1
+  // export (SimulationConfig::snapshot_sampler).
   struct TimelinePoint {
     Micros end_time = 0;         // Exclusive end of the interval.
     std::uint64_t reads = 0;     // Counted reads inside it.

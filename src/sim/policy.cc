@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "src/common/profiler.h"
+
 namespace coopfs {
 
 void PolicyBase::CacheLocally(ClientId client, BlockId block) {
@@ -18,8 +20,11 @@ void PolicyBase::CacheLocally(ClientId client, BlockId block) {
   // registered *before* eviction runs: is-singlet queries issued while
   // making space must see the incoming copy.
   ctx().directory().AddHolder(block, client);
-  while (cache.Full()) {
-    EvictForInsert(client);
+  if (cache.Full()) {
+    COOPFS_PROFILE_SCOPE("policy/evict");
+    while (cache.Full()) {
+      EvictForInsert(client);
+    }
   }
   cache.Insert(block).last_ref = ctx().now();
 }

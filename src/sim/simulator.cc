@@ -4,8 +4,40 @@
 #include <cassert>
 
 #include "src/common/logging.h"
+#include "src/common/profiler.h"
+#include "src/obs/snapshot_sampler.h"
 
 namespace coopfs {
+
+namespace {
+
+// Reads the instantaneous StateProbe gauges off the live context. O(cached
+// blocks); runs only at sample boundaries, never per event.
+StateProbe BuildStateProbe(SimContext& context) {
+  StateProbe probe;
+  for (ClientId c = 0; c < context.num_clients(); ++c) {
+    const BlockCache& cache = context.client_cache(c);
+    probe.client_blocks_used += cache.size();
+    probe.client_blocks_capacity += cache.capacity();
+    probe.recirculating_copies += cache.RecirculatingCount();
+    probe.dirty_blocks += cache.DirtyCount();
+  }
+  for (std::uint32_t s = 0; s < context.num_servers(); ++s) {
+    const BlockCache& cache = context.server_cache(s);
+    probe.server_blocks_used += cache.size();
+    probe.server_blocks_capacity += cache.capacity();
+  }
+  const Directory::DuplicationCounts dup = context.directory().CountDuplication();
+  probe.singlet_blocks = dup.singlets;
+  probe.duplicate_blocks = dup.duplicates;
+  probe.directory_blocks = dup.singlets + dup.duplicates;
+  for (std::size_t kind = 0; kind < kNumServerLoadKinds; ++kind) {
+    probe.load_units[kind] = context.server_load().Units(static_cast<ServerLoadKind>(kind));
+  }
+  return probe;
+}
+
+}  // namespace
 
 Simulator::Simulator(SimulationConfig config, const Trace* trace)
     : config_(config), trace_(trace) {
@@ -32,6 +64,7 @@ Micros Simulator::OutcomeLatency(const ReadOutcome& outcome, const SimulationCon
 }
 
 Result<SimulationResult> Simulator::Run(Policy& policy, const ContextInspector& inspect) {
+  COOPFS_PROFILE_SCOPE("sim/run");
   if (trace_->empty()) {
     return Status::InvalidArgument("empty trace");
   }
@@ -50,31 +83,31 @@ Result<SimulationResult> Simulator::Run(Policy& policy, const ContextInspector& 
     tracer->BeginRun(policy.Name(), num_clients_);
   }
 
+  // State sampling (src/obs/snapshot_sampler.h). Up to two samplers ride one
+  // replay: the externally attached config_.snapshot_sampler (full samples
+  // with gauges and per-client triplets) and an internal lean one that feeds
+  // the legacy SimulationResult::timeline. They can use different intervals,
+  // so each tracks its own boundaries.
+  SnapshotSampler* sampler = config_.snapshot_sampler;
+  if (sampler != nullptr) {
+    sampler->BeginRun(policy.Name(), num_clients_, config_.sample_interval,
+                      trace_->front().timestamp);
+  }
+  SnapshotSamplerOptions lean;
+  lean.include_per_client = false;
+  lean.capture_state = false;
+  lean.sample_warmup_end = false;
+  SnapshotSampler timeline_sampler(lean);
+  SnapshotSampler* timeline = nullptr;
+  if (config_.timeline_interval > 0) {
+    timeline = &timeline_sampler;
+    timeline->BeginRun(policy.Name(), num_clients_, config_.timeline_interval,
+                       trace_->front().timestamp);
+  }
+
   SimulationResult result;
   result.policy_name = policy.Name();
   result.per_client.resize(num_clients_);
-
-  // Timeline bucketing state (config_.timeline_interval > 0 only).
-  const Micros interval = config_.timeline_interval;
-  Micros bucket_end = interval > 0 && !trace_->empty()
-                          ? trace_->front().timestamp + interval
-                          : 0;
-  std::uint64_t bucket_reads = 0;
-  std::uint64_t bucket_disk = 0;
-  double bucket_time = 0.0;
-  auto close_bucket = [&](Micros end_time) {
-    if (bucket_reads > 0) {
-      SimulationResult::TimelinePoint point;
-      point.end_time = end_time;
-      point.reads = bucket_reads;
-      point.avg_read_time_us = bucket_time / static_cast<double>(bucket_reads);
-      point.disk_rate = static_cast<double>(bucket_disk) / static_cast<double>(bucket_reads);
-      result.timeline.push_back(point);
-    }
-    bucket_reads = 0;
-    bucket_disk = 0;
-    bucket_time = 0.0;
-  };
 
   std::uint64_t index = 0;
   for (const TraceEvent& event : *trace_) {
@@ -88,26 +121,56 @@ Result<SimulationResult> Simulator::Run(Policy& policy, const ContextInspector& 
       return Status::InvalidArgument("event client id out of range at event " +
                                      std::to_string(index));
     }
-    if (interval > 0) {
-      while (event.timestamp >= bucket_end) {
-        close_bucket(bucket_end);
-        bucket_end += interval;
+    // Sample boundaries fire before the event that crosses them: the emitted
+    // windows cover [previous boundary, boundary) in event time.
+    const bool sampler_due = sampler != nullptr && sampler->SampleDue(event.timestamp);
+    if (sampler_due || (timeline != nullptr && timeline->SampleDue(event.timestamp))) {
+      StateProbe probe;
+      if (sampler_due && sampler->options().capture_state) {
+        COOPFS_PROFILE_SCOPE("sim/sample_state");
+        probe = BuildStateProbe(context);
       }
+      if (sampler_due) {
+        sampler->CaptureDue(event.timestamp, probe);
+      }
+      if (timeline != nullptr) {
+        timeline->CaptureDue(event.timestamp, StateProbe{});
+      }
+    }
+    if (sampler != nullptr && index == config_.warmup_events && index > 0 &&
+        sampler->options().sample_warmup_end) {
+      COOPFS_PROFILE_SCOPE("sim/sample_state");
+      sampler->CaptureWarmupEnd(
+          event.timestamp,
+          sampler->options().capture_state ? BuildStateProbe(context) : StateProbe{});
+    }
+    if (sampler != nullptr) {
+      sampler->OnEvent();
+    }
+    if (timeline != nullptr) {
+      timeline->OnEvent();
     }
     policy.Tick();
     switch (event.type) {
       case EventType::kRead: {
+        COOPFS_PROFILE_SCOPE("sim/read");
         context.NoteBlock(event.block);
         if (tracer != nullptr) {
           tracer->BeginRead(event.client, event.block, context.accounting());
         }
         const ReadOutcome outcome = policy.Read(event.client, event.block);
+        const Micros latency = OutcomeLatency(outcome, config_);
         if (tracer != nullptr) {
-          tracer->EndRead(outcome.level, outcome.hops, outcome.data_transfer,
-                          OutcomeLatency(outcome, config_));
+          tracer->EndRead(outcome.level, outcome.hops, outcome.data_transfer, latency);
         }
-        if (context.accounting()) {
-          const Micros latency = OutcomeLatency(outcome, config_);
+        const bool counted = context.accounting();
+        if (sampler != nullptr) {
+          sampler->RecordRead(event.client, outcome.level, latency, counted);
+        }
+        if (timeline != nullptr) {
+          timeline->RecordRead(event.client, outcome.level, latency, counted);
+        }
+        if (counted) {
           const auto level = static_cast<std::size_t>(outcome.level);
           result.level_counts.Add(level);
           result.level_time_us[level] += static_cast<double>(latency);
@@ -116,35 +179,72 @@ Result<SimulationResult> Simulator::Run(Policy& policy, const ContextInspector& 
           ++client_stats.reads;
           client_stats.total_time_us += static_cast<double>(latency);
           result.latency_histogram.Add(static_cast<double>(latency));
-          if (interval > 0) {
-            ++bucket_reads;
-            bucket_time += static_cast<double>(latency);
-            if (outcome.level == CacheLevel::kServerDisk) {
-              ++bucket_disk;
-            }
-          }
         }
         break;
       }
-      case EventType::kWrite:
+      case EventType::kWrite: {
+        COOPFS_PROFILE_SCOPE("sim/write");
         policy.Write(event.client, event.block);
         break;
-      case EventType::kDelete:
+      }
+      case EventType::kDelete: {
+        COOPFS_PROFILE_SCOPE("sim/delete");
         policy.Delete(event.client, event.block.file);
         break;
-      case EventType::kReadAttr:
+      }
+      case EventType::kReadAttr: {
+        COOPFS_PROFILE_SCOPE("sim/readattr");
         policy.ReadAttr(event.client, event.block.file);
         break;
-      case EventType::kReboot:
+      }
+      case EventType::kReboot: {
+        COOPFS_PROFILE_SCOPE("sim/reboot");
         policy.Reboot(event.client);
         break;
+      }
     }
     ++index;
   }
 
-  if (interval > 0) {
-    close_bucket(bucket_end);
+  // Close the final (partial) windows at the last trace timestamp.
+  if (sampler != nullptr) {
+    StateProbe probe;
+    if (sampler->options().capture_state) {
+      COOPFS_PROFILE_SCOPE("sim/sample_state");
+      probe = BuildStateProbe(context);
+    }
+    sampler->CaptureRunEnd(trace_->back().timestamp, probe);
   }
+  if (timeline != nullptr) {
+    timeline->CaptureRunEnd(trace_->back().timestamp, StateProbe{});
+  }
+
+  COOPFS_PROFILE_SCOPE("sim/finalize");
+
+  // The legacy avg_read_time_us timeline is the sampler's counted-read view:
+  // one point per sample that saw counted reads (zero-read windows are
+  // dropped here but kept in coopfs.timeseries/v1 exports). The run-end
+  // sample's partial window closes at the first unreached boundary, keeping
+  // end times strictly increasing.
+  if (timeline != nullptr) {
+    const SnapshotRun& run = timeline->runs().back();
+    constexpr auto kDisk = static_cast<std::size_t>(CacheLevel::kServerDisk);
+    for (const StateSample& sample : run.samples) {
+      const std::uint64_t reads = sample.CountedReads();
+      if (reads == 0) {
+        continue;
+      }
+      SimulationResult::TimelinePoint point;
+      point.end_time = sample.trigger == SampleTrigger::kRunEnd ? timeline->next_boundary()
+                                                                : sample.time;
+      point.reads = reads;
+      point.avg_read_time_us = sample.CountedTimeUs() / static_cast<double>(reads);
+      point.disk_rate =
+          static_cast<double>(sample.level_reads[kDisk]) / static_cast<double>(reads);
+      result.timeline.push_back(point);
+    }
+  }
+
   result.server_load = context.server_load();
   result.counters = context.counters();
   result.writes = context.write_stats().writes;

@@ -8,6 +8,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/common/profiler.h"
+
 namespace coopfs {
 
 namespace {
@@ -198,6 +200,7 @@ Result<Trace> ReadTraceBinary(std::istream& in) {
 }  // namespace
 
 Result<Trace> ReadTrace(std::istream& in) {
+  COOPFS_PROFILE_SCOPE("trace/decode");
   std::array<char, 8> magic{};
   if (!in.read(magic.data(), magic.size())) {
     return Status::DataLoss("trace shorter than a format header");

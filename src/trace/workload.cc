@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/profiler.h"
 
 namespace coopfs {
 
@@ -474,6 +475,7 @@ WorkloadConfig SmallTestWorkloadConfig(std::uint64_t seed) {
 }
 
 Trace GenerateWorkload(const WorkloadConfig& config) {
+  COOPFS_PROFILE_SCOPE("trace/generate");
   assert(!config.classes.empty());
   WorkloadGenerator generator(config);
   Trace trace = generator.Generate();

@@ -1,0 +1,271 @@
+// Tests for the zero-cost-when-disabled scoped-timer profiler and the
+// "coopfs.profile/v1" document helpers.
+//
+// Profiler state is process-global, so every test runs under a fixture that
+// resets the registry and restores the disabled default. Wall-clock values
+// are non-deterministic; assertions target the reproducible parts: span
+// names, nesting, counts, and byte-exact document round-trips.
+#include "src/common/profiler.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace coopfs {
+namespace {
+
+using Node = Profiler::Node;
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::Enable(false);
+    Profiler::Reset();
+  }
+  void TearDown() override {
+    Profiler::Enable(false);
+    Profiler::Reset();
+  }
+};
+
+// Finds a root span by name, or null.
+const Node* FindRoot(const std::vector<Node>& roots, const std::string& name) {
+  for (const Node& node : roots) {
+    if (node.name == name) {
+      return &node;
+    }
+  }
+  return nullptr;
+}
+
+TEST_F(ProfilerTest, DisabledByDefaultRecordsNothing) {
+  ASSERT_FALSE(Profiler::enabled());
+  {
+    COOPFS_PROFILE_SCOPE("test/ignored");
+    COOPFS_PROFILE_SCOPE("test/ignored_child");
+  }
+  EXPECT_TRUE(Profiler::Snapshot().empty());
+}
+
+TEST_F(ProfilerTest, SpanOpenedWhileDisabledStaysUnrecorded) {
+  // Enabling mid-span must not record the already-open span: the decision is
+  // made at construction, so a half-timed interval can never be aggregated.
+  {
+    ProfileSpan span("test/opened_disabled");
+    Profiler::Enable(true);
+  }
+  EXPECT_TRUE(Profiler::Snapshot().empty());
+}
+
+TEST_F(ProfilerTest, RecordsHierarchyWithCounts) {
+  Profiler::Enable(true);
+  for (int i = 0; i < 3; ++i) {
+    COOPFS_PROFILE_SCOPE("test/outer");
+    {
+      COOPFS_PROFILE_SCOPE("test/inner");
+    }
+    {
+      COOPFS_PROFILE_SCOPE("test/inner");
+    }
+  }
+  {
+    COOPFS_PROFILE_SCOPE("test/other_root");
+  }
+
+  const std::vector<Node> roots = Profiler::Snapshot();
+  const Node* outer = FindRoot(roots, "test/outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 3u);
+  ASSERT_EQ(outer->children.size(), 1u);
+  EXPECT_EQ(outer->children[0].name, "test/inner");
+  EXPECT_EQ(outer->children[0].count, 6u);
+  // Inclusive parent time covers the children.
+  EXPECT_GE(outer->total_ns, outer->children[0].total_ns);
+  EXPECT_EQ(outer->SelfNs(), outer->total_ns - outer->ChildrenTotalNs());
+
+  const Node* other = FindRoot(roots, "test/other_root");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->count, 1u);
+  EXPECT_TRUE(other->children.empty());
+}
+
+TEST_F(ProfilerTest, SameNameNestsSeparatelyUnderDifferentParents) {
+  Profiler::Enable(true);
+  {
+    COOPFS_PROFILE_SCOPE("test/read");
+    COOPFS_PROFILE_SCOPE("test/evict");
+  }
+  {
+    COOPFS_PROFILE_SCOPE("test/write");
+    COOPFS_PROFILE_SCOPE("test/evict");
+  }
+
+  const std::vector<Node> roots = Profiler::Snapshot();
+  const Node* read = FindRoot(roots, "test/read");
+  const Node* write = FindRoot(roots, "test/write");
+  ASSERT_NE(read, nullptr);
+  ASSERT_NE(write, nullptr);
+  ASSERT_EQ(read->children.size(), 1u);
+  ASSERT_EQ(write->children.size(), 1u);
+  EXPECT_EQ(read->children[0].name, "test/evict");
+  EXPECT_EQ(read->children[0].count, 1u);
+  EXPECT_EQ(write->children[0].name, "test/evict");
+  EXPECT_EQ(write->children[0].count, 1u);
+}
+
+TEST_F(ProfilerTest, SnapshotIsNonDestructive) {
+  Profiler::Enable(true);
+  {
+    COOPFS_PROFILE_SCOPE("test/stable");
+  }
+  const std::vector<Node> first = Profiler::Snapshot();
+  const std::vector<Node> second = Profiler::Snapshot();
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(ProfilerTest, MergesSpansAcrossThreads) {
+  Profiler::Enable(true);
+  {
+    COOPFS_PROFILE_SCOPE("test/worker");
+  }
+  // Two workers record the same spans; their trees merge into the global
+  // registry at thread exit, aggregating with the calling thread's tree.
+  auto work = [] {
+    COOPFS_PROFILE_SCOPE("test/worker");
+    COOPFS_PROFILE_SCOPE("test/worker_child");
+  };
+  std::thread a(work);
+  std::thread b(work);
+  a.join();
+  b.join();
+
+  const std::vector<Node> roots = Profiler::Snapshot();
+  const Node* worker = FindRoot(roots, "test/worker");
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(worker->count, 3u);
+  ASSERT_EQ(worker->children.size(), 1u);
+  EXPECT_EQ(worker->children[0].name, "test/worker_child");
+  EXPECT_EQ(worker->children[0].count, 2u);
+}
+
+TEST_F(ProfilerTest, ResetClearsEverything) {
+  Profiler::Enable(true);
+  {
+    COOPFS_PROFILE_SCOPE("test/gone");
+  }
+  ASSERT_FALSE(Profiler::Snapshot().empty());
+  Profiler::Reset();
+  EXPECT_TRUE(Profiler::Snapshot().empty());
+}
+
+// Builds a small deterministic forest for the document-helper tests.
+std::vector<Node> SampleForest() {
+  Node evict;
+  evict.name = "policy/evict";
+  evict.count = 40;
+  evict.total_ns = 1'000;
+
+  Node read;
+  read.name = "sim/read";
+  read.count = 700;
+  read.total_ns = 5'000;
+  read.children.push_back(evict);
+
+  Node run;
+  run.name = "sim/run";
+  run.count = 1;
+  run.total_ns = 9'000;
+  run.children.push_back(read);
+
+  Node gen;
+  gen.name = "trace/generate";
+  gen.count = 1;
+  gen.total_ns = 2'500;
+  return {run, gen};
+}
+
+TEST_F(ProfilerTest, DocumentRoundTripsToIdenticalBytes) {
+  const std::vector<Node> forest = SampleForest();
+  const std::string json = ProfileToJson(forest);
+  EXPECT_NE(json.find(kProfileSchema), std::string::npos);
+
+  Result<std::vector<Node>> parsed = ParseProfileDocument(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, forest);
+  EXPECT_EQ(ProfileToJson(*parsed), json);
+  EXPECT_TRUE(ValidateProfileDocument(json).ok());
+}
+
+TEST_F(ProfilerTest, LiveSnapshotDocumentValidates) {
+  Profiler::Enable(true);
+  {
+    COOPFS_PROFILE_SCOPE("test/exported");
+    COOPFS_PROFILE_SCOPE("test/exported_child");
+  }
+  const std::string json = Profiler::ToJson();
+  EXPECT_TRUE(ValidateProfileDocument(json).ok());
+  Result<std::vector<Node>> parsed = ParseProfileDocument(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, Profiler::Snapshot());
+}
+
+TEST_F(ProfilerTest, ParserRejectsCorruptDocuments) {
+  EXPECT_FALSE(ParseProfileDocument("").ok());
+  EXPECT_FALSE(ParseProfileDocument("not json").ok());
+  EXPECT_FALSE(ParseProfileDocument(R"({"schema": "other/v1", "roots": []})").ok());
+
+  // self_ns is redundant with total_ns minus the children's totals; a
+  // document where they disagree is corrupt and must not parse.
+  const std::string json = ProfileToJson(SampleForest());
+  const std::string::size_type pos = json.find("\"self_ns\": 4000");
+  ASSERT_NE(pos, std::string::npos) << json;
+  std::string corrupted = json;
+  corrupted.replace(pos, 15, "\"self_ns\": 4001");
+  EXPECT_FALSE(ParseProfileDocument(corrupted).ok());
+}
+
+TEST_F(ProfilerTest, FlattenSortsBySelfTimeAndMergesNames) {
+  std::vector<Node> forest = SampleForest();
+  // A second tree reusing "policy/evict" at the root: flattening merges by
+  // name across positions.
+  Node extra;
+  extra.name = "policy/evict";
+  extra.count = 2;
+  extra.total_ns = 500;
+  forest.push_back(extra);
+
+  const std::vector<ProfileFlatRow> rows = FlattenProfileBySelfTime(forest);
+  ASSERT_EQ(rows.size(), 4u);
+  // sim/read self = 5000 - 1000 = 4000; sim/run self = 9000 - 5000 = 4000;
+  // trace/generate = 2500; policy/evict = 1000 + 500 = 1500.
+  EXPECT_EQ(rows[0].name, "sim/read");
+  EXPECT_EQ(rows[0].self_ns, 4'000u);
+  EXPECT_EQ(rows[1].name, "sim/run");
+  EXPECT_EQ(rows[1].self_ns, 4'000u);
+  EXPECT_EQ(rows[2].name, "trace/generate");
+  EXPECT_EQ(rows[3].name, "policy/evict");
+  EXPECT_EQ(rows[3].count, 42u);
+  EXPECT_EQ(rows[3].self_ns, 1'500u);
+
+  const std::string table = ProfileSelfTimeTable(forest, 2);
+  EXPECT_NE(table.find("sim/read"), std::string::npos);
+  EXPECT_EQ(table.find("policy/evict"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, SelfNsClampsWhenChildrenExceedParent) {
+  Node child;
+  child.name = "child";
+  child.count = 1;
+  child.total_ns = 150;
+  Node parent;
+  parent.name = "parent";
+  parent.count = 1;
+  parent.total_ns = 100;  // Clock granularity can order totals this way.
+  parent.children.push_back(child);
+  EXPECT_EQ(parent.SelfNs(), 0u);
+}
+
+}  // namespace
+}  // namespace coopfs

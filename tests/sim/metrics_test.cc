@@ -1,5 +1,7 @@
 #include "src/sim/metrics.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace coopfs {
@@ -108,6 +110,64 @@ TEST(StackDeletionTest, AdjustsPerClientProportionally) {
   EXPECT_EQ(adjusted.per_client[0].reads, 20u);
   EXPECT_NEAR(adjusted.per_client[0].AverageReadTime(), (10 * 15'850.0 + 10 * 250.0) / 20.0,
               0.01);
+}
+
+TEST(StackDeletionTest, ZeroReadsStayZero) {
+  SimulationResult visible = MakeResult(0, 0, 0, 0);
+  visible.per_client.resize(2);
+  const SimulationResult adjusted = ApplyStackDeletion(visible, 0.8, 250.0);
+  EXPECT_EQ(adjusted.reads, 0u);
+  EXPECT_EQ(adjusted.level_counts.Get(0), 0u);
+  EXPECT_DOUBLE_EQ(adjusted.AverageReadTime(), 0.0);
+  for (const auto& client : adjusted.per_client) {
+    EXPECT_EQ(client.reads, 0u);
+    EXPECT_DOUBLE_EQ(client.total_time_us, 0.0);
+  }
+}
+
+TEST(StackDeletionTest, ZeroHiddenRateLeavesPerClientUntouched) {
+  SimulationResult visible = MakeResult(0, 0, 0, 10);
+  visible.per_client.resize(2);
+  visible.per_client[0] = {4, 4 * 15'850.0};
+  visible.per_client[1] = {6, 6 * 15'850.0};
+  const SimulationResult adjusted = ApplyStackDeletion(visible, 0.0, 250.0);
+  ASSERT_EQ(adjusted.per_client.size(), 2u);
+  EXPECT_EQ(adjusted.per_client[0].reads, 4u);
+  EXPECT_EQ(adjusted.per_client[1].reads, 6u);
+  EXPECT_DOUBLE_EQ(adjusted.per_client[0].total_time_us, 4 * 15'850.0);
+  EXPECT_DOUBLE_EQ(adjusted.per_client[1].total_time_us, 6 * 15'850.0);
+}
+
+TEST(StackDeletionTest, PerClientSharesSumExactlyToAggregate) {
+  // 7 visible reads split 1/2/4; hidden rate 0.6 infers 7*0.6/0.4 = 10.5,
+  // rounded to 11 hidden hits. 11 is not proportionally divisible by 1/2/4,
+  // so naive per-client rounding would drop or invent a hit; the cumulative
+  // rounding must hand out exactly 11 across the clients.
+  SimulationResult visible = MakeResult(0, 0, 0, 7);
+  visible.per_client.resize(3);
+  visible.per_client[0] = {1, 1 * 15'850.0};
+  visible.per_client[1] = {2, 2 * 15'850.0};
+  visible.per_client[2] = {4, 4 * 15'850.0};
+  const SimulationResult adjusted = ApplyStackDeletion(visible, 0.6, 250.0);
+  EXPECT_EQ(adjusted.level_counts.Get(0), 11u);
+  EXPECT_EQ(adjusted.reads, 18u);
+
+  std::uint64_t client_reads = 0;
+  double client_time = 0.0;
+  for (const auto& client : adjusted.per_client) {
+    client_reads += client.reads;
+    client_time += client.total_time_us;
+  }
+  EXPECT_EQ(client_reads, adjusted.reads);
+  EXPECT_DOUBLE_EQ(client_time, 7 * 15'850.0 + 11 * 250.0);
+  // Shares stay proportional: no client's share is off by more than one
+  // hit from its exact proportional entitlement.
+  const double exact[] = {11.0 / 7.0, 22.0 / 7.0, 44.0 / 7.0};
+  const std::uint64_t before[] = {1, 2, 4};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double share = static_cast<double>(adjusted.per_client[i].reads - before[i]);
+    EXPECT_LT(std::abs(share - exact[i]), 1.0) << "client " << i;
+  }
 }
 
 TEST(StackDeletionTest, HigherHiddenRateShrinksAlgorithmDifferences) {

@@ -1,11 +1,15 @@
-// Offline analysis of "coopfs.events/v1" event traces.
+// Offline analysis of coopfs observability documents: "coopfs.events/v1"
+// event traces, "coopfs.timeseries/v1" state samples, and
+// "coopfs.profile/v1" simulator self-profiles.
 //
-// Consumes the JSONL documents written by --trace-events (bench binaries,
-// examples/algorithm_comparison) and answers the questions the aggregate
-// metrics document cannot: which blocks are hot, who forwards to whom, how
-// deep N-Chance recirculation chains run, and why a particular block missed.
+// Consumes the JSONL documents written by --trace-events / --timeseries /
+// --profile (bench binaries, examples/algorithm_comparison) and answers the
+// questions the aggregate metrics document cannot: which blocks are hot, who
+// forwards to whom, how deep N-Chance recirculation chains run, why a
+// particular block missed, how cache state evolved over simulated time, and
+// where the simulator spent its own wall clock.
 //
-// Usage: coopfs_inspect <command> [options] <events.jsonl>
+// Usage: coopfs_inspect <command> [options] <input>
 //   summary                       per-run overview (default command)
 //   latency                       per-level latency histograms per run
 //   hot-blocks [--top N]          most-read blocks with hit-level breakdown
@@ -13,10 +17,13 @@
 //   recirc                        N-Chance recirculation-depth distribution
 //   block <fF:bB>                 chronological post-mortem for one block
 //   export-perfetto <out.json>    convert to Chrome trace_event JSON
+//   timeline                      render a coopfs.timeseries/v1 document
+//   profile                       render a coopfs.profile/v1 document
 // Options:
 //   --run N        restrict to run index N (default: all runs)
 //   --top N        hot-blocks list length (default 20)
-// See docs/observability.md for the schema.
+// Unknown commands, unreadable inputs, and documents that fail validation
+// all exit nonzero. See docs/observability.md for the schemas.
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -29,7 +36,9 @@
 #include <vector>
 
 #include "src/common/format.h"
+#include "src/common/profiler.h"
 #include "src/common/stats.h"
+#include "src/obs/snapshot_sampler.h"
 #include "src/obs/trace_recorder.h"
 #include "src/obs/trace_sink.h"
 
@@ -43,8 +52,8 @@ namespace {
 
 void PrintUsage() {
   std::fprintf(stderr,
-               "usage: coopfs_inspect <command> [options] <events.jsonl>\n"
-               "commands:\n"
+               "usage: coopfs_inspect <command> [options] <input>\n"
+               "commands (on coopfs.events/v1 documents):\n"
                "  summary                     per-run overview (default)\n"
                "  latency                     per-level latency histograms\n"
                "  hot-blocks [--top N]        most-read blocks\n"
@@ -52,6 +61,9 @@ void PrintUsage() {
                "  recirc                      recirculation-depth distribution\n"
                "  block <fF:bB>               post-mortem for one block\n"
                "  export-perfetto <out.json>  convert to Chrome trace_event JSON\n"
+               "commands (on other documents):\n"
+               "  timeline                    render coopfs.timeseries/v1 samples\n"
+               "  profile                     render a coopfs.profile/v1 span tree\n"
                "options: --run N (restrict to one run index)\n");
 }
 
@@ -338,6 +350,71 @@ void CommandBlock(const EventsDocument& document, const std::vector<std::size_t>
   }
 }
 
+// ---- timeline (coopfs.timeseries/v1) ----
+
+void CommandTimeline(const TimeseriesDocument& document,
+                     const std::vector<std::size_t>& run_indices) {
+  for (std::size_t run_index : run_indices) {
+    const SnapshotRun& run = document.runs[run_index];
+    std::printf("=== run %zu (%s, %u clients, interval %s) ===\n", run_index, run.policy.c_str(),
+                run.num_clients,
+                run.interval > 0
+                    ? (FormatDouble(static_cast<double>(run.interval) / 1e6, 0) + " s").c_str()
+                    : "off");
+    TableFormatter table({"#", "Trigger", "Time", "Reads", "Counted", "Avg lat", "Local",
+                          "Remote", "Disk", "Client occ", "Dup", "Load units"});
+    for (const StateSample& sample : run.samples) {
+      const std::uint64_t counted = sample.CountedReads();
+      const double counted_d = static_cast<double>(counted);
+      auto fraction = [&](CacheLevel level) {
+        const auto i = static_cast<std::size_t>(level);
+        return counted == 0 ? 0.0 : static_cast<double>(sample.level_reads[i]) / counted_d;
+      };
+      const StateProbe& state = sample.state;
+      const double occupancy =
+          state.client_blocks_capacity == 0
+              ? 0.0
+              : static_cast<double>(state.client_blocks_used) /
+                    static_cast<double>(state.client_blocks_capacity);
+      const double duplicated =
+          state.directory_blocks == 0
+              ? 0.0
+              : static_cast<double>(state.duplicate_blocks) /
+                    static_cast<double>(state.directory_blocks);
+      std::uint64_t load = 0;
+      for (std::uint64_t units : state.load_units) {
+        load += units;
+      }
+      table.AddRow({std::to_string(sample.index), SampleTriggerName(sample.trigger),
+                    FormatDouble(static_cast<double>(sample.time) / 1e6, 0) + " s",
+                    std::to_string(sample.window_reads), std::to_string(counted),
+                    counted == 0 ? "-" : FormatMicros(sample.CountedTimeUs() / counted_d),
+                    FormatPercent(fraction(CacheLevel::kLocalMemory)),
+                    FormatPercent(fraction(CacheLevel::kRemoteClient)),
+                    FormatPercent(fraction(CacheLevel::kServerDisk)), FormatPercent(occupancy),
+                    FormatPercent(duplicated), std::to_string(load)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+}
+
+// ---- profile (coopfs.profile/v1) ----
+
+void PrintProfileTree(const std::vector<Profiler::Node>& nodes, int depth) {
+  for (const Profiler::Node& node : nodes) {
+    std::printf("%*s%s: %llu calls, %s total, %s self\n", depth * 2, "", node.name.c_str(),
+                static_cast<unsigned long long>(node.count),
+                FormatMicros(static_cast<double>(node.total_ns) / 1000.0).c_str(),
+                FormatMicros(static_cast<double>(node.SelfNs()) / 1000.0).c_str());
+    PrintProfileTree(node.children, depth + 1);
+  }
+}
+
+void CommandProfile(const std::vector<Profiler::Node>& roots) {
+  PrintProfileTree(roots, 0);
+  std::printf("\n%s", ProfileSelfTimeTable(roots).c_str());
+}
+
 }  // namespace
 }  // namespace coopfs
 
@@ -364,16 +441,26 @@ int main(int argc, char** argv) {
     }
   }
 
-  static constexpr const char* kCommands[] = {"summary", "latency",  "hot-blocks",
-                                              "forwards", "recirc", "block",
-                                              "export-perfetto"};
+  static constexpr const char* kCommands[] = {"summary",  "latency", "hot-blocks",
+                                              "forwards", "recirc",  "block",
+                                              "export-perfetto", "timeline", "profile"};
   std::size_t cursor = 0;
-  if (cursor < positional.size()) {
+  if (!positional.empty()) {
+    bool known = false;
     for (const char* name : kCommands) {
-      if (positional[cursor] == name) {
-        command = positional[cursor++];
+      if (positional[0] == name) {
+        command = positional[0];
+        cursor = 1;
+        known = true;
         break;
       }
+    }
+    // A lone non-command positional is the input path (default command);
+    // with more positionals it can only be a misspelled command.
+    if (!known && positional.size() > 1) {
+      std::fprintf(stderr, "coopfs_inspect: unknown command '%s'\n\n", positional[0].c_str());
+      PrintUsage();
+      return 1;
     }
   }
   if ((command == "block" || command == "export-perfetto") && cursor < positional.size()) {
@@ -388,6 +475,46 @@ int main(int argc, char** argv) {
   }
 
   const std::string text = ReadWholeFile(input_path);
+
+  // The timeline and profile commands read their own document types; they
+  // branch off before the events parse below.
+  if (command == "timeline") {
+    Result<TimeseriesDocument> timeseries = ParseTimeseriesJsonl(text);
+    if (!timeseries.ok()) {
+      Die(input_path + ": " + timeseries.status().ToString());
+    }
+    std::printf("%s: %s, coopfs %s, seed %llu, %llu trace events%s%s, %zu runs\n\n",
+                input_path.c_str(), std::string(kTimeseriesSchema).c_str(),
+                timeseries->coopfs_version.c_str(),
+                static_cast<unsigned long long>(timeseries->metadata.seed),
+                static_cast<unsigned long long>(timeseries->metadata.trace_events),
+                timeseries->metadata.workload.empty() ? "" : ", workload ",
+                timeseries->metadata.workload.c_str(), timeseries->runs.size());
+    std::vector<std::size_t> indices;
+    if (run_filter >= 0) {
+      if (static_cast<std::size_t>(run_filter) >= timeseries->runs.size()) {
+        Die("--run " + std::to_string(run_filter) + " out of range (document has " +
+            std::to_string(timeseries->runs.size()) + " runs)");
+      }
+      indices.push_back(static_cast<std::size_t>(run_filter));
+    } else {
+      for (std::size_t i = 0; i < timeseries->runs.size(); ++i) {
+        indices.push_back(i);
+      }
+    }
+    CommandTimeline(*timeseries, indices);
+    return 0;
+  }
+  if (command == "profile") {
+    Result<std::vector<Profiler::Node>> roots = ParseProfileDocument(text);
+    if (!roots.ok()) {
+      Die(input_path + ": " + roots.status().ToString());
+    }
+    std::printf("%s: %s, %zu root spans\n\n", input_path.c_str(),
+                std::string(kProfileSchema).c_str(), roots->size());
+    CommandProfile(*roots);
+    return 0;
+  }
   Result<EventsDocument> parsed = ParseEventsJsonl(text);
   if (!parsed.ok()) {
     Die(input_path + ": " + parsed.status().ToString());
