@@ -7,6 +7,7 @@
 #include "src/cache/block_cache.h"
 #include "src/cache/directory.h"
 #include "src/cache/lru_map.h"
+#include "src/common/flat_hash_map.h"
 #include "src/common/rng.h"
 #include "src/core/policy_factory.h"
 #include "src/sim/simulator.h"
@@ -14,6 +15,38 @@
 
 namespace coopfs {
 namespace {
+
+void BM_FlatHashMapFind(benchmark::State& state) {
+  const auto entries = static_cast<std::uint64_t>(state.range(0));
+  FlatHashMap<std::uint64_t, std::uint64_t> map;
+  map.Reserve(entries);
+  for (std::uint64_t k = 0; k < entries; ++k) {
+    map[k * 2] = k;  // Even keys hit, odd keys miss: a 50/50 probe mix.
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Find(rng.NextBelow(2 * entries)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatHashMapFind)->Arg(2048)->Arg(131072);
+
+void BM_FlatHashMapInsertErase(benchmark::State& state) {
+  const auto entries = static_cast<std::uint64_t>(state.range(0));
+  FlatHashMap<std::uint64_t, std::uint64_t> map;
+  map.Reserve(entries);
+  std::uint64_t head = 0;
+  for (; head < entries; ++head) {
+    map[head] = head;
+  }
+  for (auto _ : state) {  // Steady-state occupancy: one insert + one erase.
+    map[head] = head;
+    benchmark::DoNotOptimize(map.Erase(head - entries));
+    ++head;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatHashMapInsertErase)->Arg(2048)->Arg(131072);
 
 void BM_BlockCacheHit(benchmark::State& state) {
   const auto capacity = static_cast<std::size_t>(state.range(0));

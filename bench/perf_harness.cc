@@ -4,6 +4,12 @@
 // fig* benches; this harness tracks how fast the *simulator itself* runs):
 //
 //   * trace_gen            — synthetic Sprite-like workload generation
+//   * flat_map_lookup      — FlatHashMap point lookups (50% hit rate) on a
+//                            reserved table, the dominant operation of every
+//                            replay index (items = lookups)
+//   * flat_map_churn       — FlatHashMap steady-state insert+erase cycling
+//                            at fixed occupancy, the eviction-path pattern
+//                            (items = insert/erase pairs)
 //   * replay_serial_<p>    — single-threaded trace replay per policy
 //   * replay_traced_nchance — the N-Chance replay with a TraceRecorder
 //                            attached (vs. replay_serial_nchance: the cost
@@ -45,6 +51,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/common/flat_hash_map.h"
 #include "src/common/format.h"
 #include "src/common/profiler.h"
 #include "src/core/sweep.h"
@@ -119,6 +126,58 @@ int Run(int argc, char** argv) {
     const auto start = std::chrono::steady_clock::now();
     const Trace generated = GenerateWorkload(config);
     report.series.push_back(MakeSeries("trace_gen", generated.size(), SecondsSince(start)));
+  }
+
+  // 1b. Flat-map microbenches: the raw data-structure cost under the replay
+  //     indexes' access patterns, so a hash-map regression is attributable
+  //     separately from policy-logic changes. Both use an xorshift key
+  //     stream; a checksum keeps the loops observable.
+  {
+    constexpr std::uint64_t kTableEntries = 1u << 17;  // Bigger than L2.
+    std::uint64_t state = options.seed | 1;
+    auto next = [&state] {
+      state ^= state >> 12;
+      state ^= state << 25;
+      state ^= state >> 27;
+      return state * 0x2545f4914f6cdd1dull;
+    };
+
+    // Lookup: reserved table of even keys; probe evens and odds alike for a
+    // 50% hit rate (replay lookups are a hit/miss mix too).
+    FlatHashMap<std::uint64_t, std::uint64_t> map;
+    map.Reserve(kTableEntries);
+    for (std::uint64_t k = 0; k < kTableEntries; ++k) {
+      map[k * 2] = k;
+    }
+    const std::uint64_t lookups = options.events * 8;
+    std::uint64_t checksum = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < lookups; ++i) {
+      const std::uint64_t* value = map.Find(next() % (2 * kTableEntries));
+      checksum += value != nullptr ? *value : 1;
+    }
+    report.series.push_back(MakeSeries("flat_map_lookup", lookups, SecondsSince(start)));
+
+    // Churn: hold occupancy at kTableEntries while cycling one insert + one
+    // erase per step — the backward-shift erase path the LRU indexes hit on
+    // every eviction.
+    FlatHashMap<std::uint64_t, std::uint64_t> churn;
+    churn.Reserve(kTableEntries);
+    std::uint64_t head = 0;
+    for (; head < kTableEntries; ++head) {
+      churn[head] = head;
+    }
+    const std::uint64_t cycles = options.events * 4;
+    start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < cycles; ++i) {
+      churn[head] = head;
+      checksum += churn.Erase(head - kTableEntries) ? 0 : 1;
+      ++head;
+    }
+    report.series.push_back(MakeSeries("flat_map_churn", cycles, SecondsSince(start)));
+    if (checksum == ~std::uint64_t{0}) {  // Keep the loops from folding away.
+      std::printf("flat_map checksum %llu\n", static_cast<unsigned long long>(checksum));
+    }
   }
 
   // The replay series share one memoized trace; generate it before timing.

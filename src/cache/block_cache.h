@@ -11,15 +11,21 @@
 // victim selection scans from the LRU end), so eviction is explicit: Insert
 // requires free space and callers evict first, either EvictLru() or by
 // scanning with entries in LRU order.
+//
+// Storage layout (replay hot path): entries live in a slab sized to the
+// fixed capacity at construction, so CacheEntry pointers — and the intrusive
+// LRU list nodes they embed — are stable for the cache's lifetime. A
+// FlatHashMap from packed BlockId to slab slot, reserved up front, makes
+// every Find/Touch/Insert/Erase allocation-free and rehash-free.
 #ifndef COOPFS_SRC_CACHE_BLOCK_CACHE_H_
 #define COOPFS_SRC_CACHE_BLOCK_CACHE_H_
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
+#include "src/common/flat_hash_map.h"
 #include "src/common/intrusive_list.h"
 #include "src/common/types.h"
 
@@ -52,8 +58,17 @@ class BlockCache {
  public:
   // Capacity in 8 KB blocks. A zero-capacity cache is legal (e.g. the local
   // section when 100% of client memory is centrally coordinated) and simply
-  // rejects insertion.
-  explicit BlockCache(std::size_t capacity_blocks) : capacity_(capacity_blocks) {}
+  // rejects insertion. The entry slab and the index are fully allocated
+  // here; steady-state operation never allocates.
+  explicit BlockCache(std::size_t capacity_blocks)
+      : capacity_(capacity_blocks), slab_(capacity_blocks) {
+    index_.Reserve(capacity_);
+    free_slots_.reserve(capacity_);
+    // Pop from the back: slots are handed out in ascending order.
+    for (std::size_t i = capacity_; i > 0; --i) {
+      free_slots_.push_back(static_cast<std::uint32_t>(i - 1));
+    }
+  }
 
   BlockCache(const BlockCache&) = delete;
   BlockCache& operator=(const BlockCache&) = delete;
@@ -61,20 +76,21 @@ class BlockCache {
   BlockCache& operator=(BlockCache&&) = delete;
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return index_.size(); }
   bool Full() const { return size() >= capacity_; }
   bool CanInsert() const { return capacity_ > 0; }
 
-  bool Contains(BlockId block) const { return entries_.contains(block.Pack()); }
+  bool Contains(BlockId block) const { return index_.Contains(block.Pack()); }
 
-  // Lookup without changing LRU order. Returns nullptr if absent.
+  // Lookup without changing LRU order. Returns nullptr if absent. Entry
+  // pointers stay valid until that block is erased (slab storage).
   CacheEntry* Find(BlockId block) {
-    auto it = entries_.find(block.Pack());
-    return it == entries_.end() ? nullptr : &it->second;
+    const std::uint32_t* slot = index_.Find(block.Pack());
+    return slot == nullptr ? nullptr : &slab_[*slot];
   }
   const CacheEntry* Find(BlockId block) const {
-    auto it = entries_.find(block.Pack());
-    return it == entries_.end() ? nullptr : &it->second;
+    const std::uint32_t* slot = index_.Find(block.Pack());
+    return slot == nullptr ? nullptr : &slab_[*slot];
   }
 
   // Lookup and move to the MRU position. Returns nullptr if absent.
@@ -90,21 +106,27 @@ class BlockCache {
   // first) and that the block is not already present.
   CacheEntry& Insert(BlockId block) {
     assert(CanInsert() && !Full());
-    auto [it, inserted] = entries_.try_emplace(block.Pack());
+    auto [slot, inserted] = index_.TryEmplace(block.Pack());
     assert(inserted && "block already cached");
-    it->second.block = block;
-    lru_.PushFront(&it->second);
-    return it->second;
+    *slot = free_slots_.back();
+    free_slots_.pop_back();
+    CacheEntry& entry = slab_[*slot];
+    entry = CacheEntry{};  // Fresh metadata; the slot's node is unlinked.
+    entry.block = block;
+    lru_.PushFront(&entry);
+    return entry;
   }
 
   // Removes `block` if present; returns true if it was.
   bool Erase(BlockId block) {
-    auto it = entries_.find(block.Pack());
-    if (it == entries_.end()) {
+    const std::uint32_t* slot = index_.Find(block.Pack());
+    if (slot == nullptr) {
       return false;
     }
-    lru_.Remove(&it->second);
-    entries_.erase(it);
+    const std::uint32_t freed = *slot;
+    lru_.Remove(&slab_[freed]);
+    index_.Erase(block.Pack());
+    free_slots_.push_back(freed);
     return true;
   }
 
@@ -131,8 +153,9 @@ class BlockCache {
   // Visits entries from LRU to MRU until `visitor` returns true (stop) or
   // `limit` entries have been seen (0 = no limit). Returns the entry the
   // visitor stopped on, or nullptr. The visitor must not mutate the cache.
-  CacheEntry* ScanFromLru(const std::function<bool(CacheEntry&)>& visitor,
-                          std::size_t limit = 0) {
+  // List order is deterministic and independent of index capacity.
+  template <typename Visitor>
+  CacheEntry* ScanFromLru(Visitor&& visitor, std::size_t limit = 0) {
     std::size_t seen = 0;
     for (IntrusiveListNode* node = LruNodeBack(); node != nullptr;) {
       auto* entry = static_cast<CacheEntry*>(node->owner);
@@ -148,37 +171,42 @@ class BlockCache {
     return nullptr;
   }
 
-  // Visits every entry in unspecified order (introspection/validation).
-  void ForEachEntry(const std::function<void(const CacheEntry&)>& visitor) const {
-    for (const auto& [key, entry] : entries_) {
-      visitor(entry);
-    }
+  // Visits every entry in unspecified, capacity-dependent order
+  // (introspection/validation). Callers must aggregate order-independently;
+  // use ScanFromLru for deterministic order.
+  template <typename Visitor>
+  void ForEachEntry(Visitor&& visitor) const {
+    index_.ForEach(
+        [this, &visitor](std::uint64_t, const std::uint32_t& slot) { visitor(slab_[slot]); });
   }
 
-  // ---- Introspection gauges (state sampling; O(size), off the hot path) ----
+  // ---- Introspection gauges (state sampling; off the hot path) ----
 
   // Entries currently recirculating (N-Chance copies in flight).
   std::size_t RecirculatingCount() const {
     std::size_t count = 0;
-    for (const auto& [key, entry] : entries_) {
-      count += entry.recirculating() ? 1 : 0;
-    }
+    ForEachEntry([&count](const CacheEntry& entry) { count += entry.recirculating() ? 1 : 0; });
     return count;
   }
 
   // Entries holding dirty (unflushed) data under delayed writes.
   std::size_t DirtyCount() const {
     std::size_t count = 0;
-    for (const auto& [key, entry] : entries_) {
-      count += entry.dirty ? 1 : 0;
-    }
+    ForEachEntry([&count](const CacheEntry& entry) { count += entry.dirty ? 1 : 0; });
     return count;
   }
+
+  // Block-index occupancy and probe-length statistics (observability).
+  FlatMapStats IndexStats() const { return index_.Stats(); }
 
   // Removes every entry. (Used by tests.)
   void Clear() {
     lru_.Clear();
-    entries_.clear();
+    index_.Clear();
+    free_slots_.clear();
+    for (std::size_t i = capacity_; i > 0; --i) {
+      free_slots_.push_back(static_cast<std::uint32_t>(i - 1));
+    }
   }
 
  private:
@@ -193,7 +221,9 @@ class BlockCache {
   }
 
   std::size_t capacity_;
-  std::unordered_map<std::uint64_t, CacheEntry> entries_;
+  std::vector<CacheEntry> slab_;            // Stable entry storage, one per slot.
+  std::vector<std::uint32_t> free_slots_;   // Unused slab slots (LIFO).
+  FlatHashMap<std::uint64_t, std::uint32_t> index_;  // Packed BlockId -> slot.
   IntrusiveList<CacheEntry, &CacheEntry::lru_node> lru_;
 };
 

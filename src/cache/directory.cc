@@ -1,59 +1,53 @@
 #include "src/cache/directory.h"
 
-#include <algorithm>
-
 namespace coopfs {
 
 namespace {
-const std::vector<ClientId> kEmptyHolders;
+const Directory::HolderList kEmptyHolders{};
 }  // namespace
 
 void Directory::AddHolder(BlockId block, ClientId client) {
-  auto [it, inserted] = holders_.try_emplace(block.Pack());
+  auto [per_block, inserted] = holders_.TryEmplace(block.Pack());
   if (inserted) {
     // First time this block is tracked: register it with its file. Entries
     // whose holder sets empty later stay registered (and stay in holders_)
     // so re-adding a holder never duplicates the file index.
     file_index_[block.file].push_back(block.Pack());
   }
-  auto& list = it->second.holders;
-  if (std::find(list.begin(), list.end(), client) == list.end()) {
+  HolderList& list = per_block->holders;
+  if (!list.ContainsValue(client)) {
     list.push_back(client);
     CountOp(DirectoryOpKind::kAddHolder, block, client);
   }
 }
 
 void Directory::RemoveHolder(BlockId block, ClientId client) {
-  auto it = holders_.find(block.Pack());
-  if (it == holders_.end()) {
+  PerBlock* per_block = holders_.Find(block.Pack());
+  if (per_block == nullptr) {
     return;
   }
-  auto& list = it->second.holders;
-  auto pos = std::find(list.begin(), list.end(), client);
-  if (pos != list.end()) {
-    *pos = list.back();
-    list.pop_back();
+  if (per_block->holders.SwapRemove(client)) {
     CountOp(DirectoryOpKind::kRemoveHolder, block, client);
   }
 }
 
 std::size_t Directory::HolderCount(BlockId block) const {
-  auto it = holders_.find(block.Pack());
-  return it == holders_.end() ? 0 : it->second.holders.size();
+  const PerBlock* per_block = holders_.Find(block.Pack());
+  return per_block == nullptr ? 0 : per_block->holders.size();
 }
 
-const std::vector<ClientId>& Directory::Holders(BlockId block) const {
-  auto it = holders_.find(block.Pack());
-  return it == holders_.end() ? kEmptyHolders : it->second.holders;
+const Directory::HolderList& Directory::Holders(BlockId block) const {
+  const PerBlock* per_block = holders_.Find(block.Pack());
+  return per_block == nullptr ? kEmptyHolders : per_block->holders;
 }
 
 bool Directory::IsSingletHeldBy(BlockId block, ClientId client) const {
-  const auto& list = Holders(block);
+  const HolderList& list = Holders(block);
   return list.size() == 1 && list.front() == client;
 }
 
 ClientId Directory::PickHolder(BlockId block, ClientId exclude, Rng& rng) const {
-  const auto& list = Holders(block);
+  const HolderList& list = Holders(block);
   std::size_t eligible = 0;
   for (ClientId holder : list) {
     if (holder != exclude) {
@@ -77,12 +71,12 @@ ClientId Directory::PickHolder(BlockId block, ClientId exclude, Rng& rng) const 
 
 std::vector<BlockId> Directory::BlocksOfFile(FileId file) const {
   std::vector<BlockId> result;
-  auto it = file_index_.find(file);
-  if (it == file_index_.end()) {
+  const std::vector<std::uint64_t>* blocks = file_index_.Find(file);
+  if (blocks == nullptr) {
     return result;
   }
-  result.reserve(it->second.size());
-  for (std::uint64_t packed : it->second) {
+  result.reserve(blocks->size());
+  for (std::uint64_t packed : *blocks) {
     const BlockId block = BlockId::Unpack(packed);
     if (HolderCount(block) > 0) {
       result.push_back(block);
@@ -92,22 +86,21 @@ std::vector<BlockId> Directory::BlocksOfFile(FileId file) const {
 }
 
 void Directory::EraseBlock(BlockId block) {
-  auto it = holders_.find(block.Pack());
-  if (it == holders_.end()) {
+  if (!holders_.Erase(block.Pack())) {
     return;
   }
-  holders_.erase(it);
   CountOp(DirectoryOpKind::kEraseBlock, block, kNoClient);
-  auto file_it = file_index_.find(block.file);
-  if (file_it != file_index_.end()) {
-    auto& vec = file_it->second;
-    auto pos = std::find(vec.begin(), vec.end(), block.Pack());
-    if (pos != vec.end()) {
-      *pos = vec.back();
-      vec.pop_back();
+  std::vector<std::uint64_t>* blocks = file_index_.Find(block.file);
+  if (blocks != nullptr) {
+    for (std::size_t i = 0; i < blocks->size(); ++i) {
+      if ((*blocks)[i] == block.Pack()) {
+        (*blocks)[i] = blocks->back();
+        blocks->pop_back();
+        break;
+      }
     }
-    if (vec.empty()) {
-      file_index_.erase(file_it);
+    if (blocks->empty()) {
+      file_index_.Erase(block.file);
     }
   }
 }

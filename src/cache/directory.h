@@ -7,13 +7,21 @@
 //
 // The directory also maintains a per-file index of blocks with at least one
 // holder so whole-file deletes and invalidations do not scan every cache.
+//
+// Hot-path layout: both maps are open-addressing FlatHashMaps keyed on
+// packed ids, and each holder set is an InlineVec that stores up to four
+// ClientIds in place — N-Chance actively kills duplicates (§2.4), so almost
+// every tracked block has one or two holders and the common AddHolder /
+// RemoveHolder never allocates. Reserve() pre-sizes both maps from the
+// simulation's aggregate cache capacity so replay runs rehash-free.
 #ifndef COOPFS_SRC_CACHE_DIRECTORY_H_
 #define COOPFS_SRC_CACHE_DIRECTORY_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_hash_map.h"
+#include "src/common/inline_vec.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
 
@@ -41,10 +49,26 @@ class DirectoryObserver {
 
 class Directory {
  public:
+  // The set of clients caching one block. Most blocks have 1-2 holders, so
+  // four inline slots cover the common case without heap traffic.
+  using HolderList = InlineVec<ClientId, 4>;
+
   Directory() = default;
 
   Directory(const Directory&) = delete;
   Directory& operator=(const Directory&) = delete;
+
+  // Pre-sizes the block map for `expected_blocks` tracked blocks and the
+  // file index for `expected_files` files so steady-state replay never
+  // rehashes. Zero leaves the default growth behaviour.
+  void Reserve(std::size_t expected_blocks, std::size_t expected_files) {
+    if (expected_blocks > 0) {
+      holders_.Reserve(expected_blocks);
+    }
+    if (expected_files > 0) {
+      file_index_.Reserve(expected_files);
+    }
+  }
 
   // Optional mutation counter (observability): when set, every holder
   // addition/removal and block erasure increments `*counter`. Null (the
@@ -64,8 +88,10 @@ class Directory {
   // Number of client copies of `block`.
   std::size_t HolderCount(BlockId block) const;
 
-  // All clients caching `block` (unordered). Empty if none.
-  const std::vector<ClientId>& Holders(BlockId block) const;
+  // All clients caching `block` (unordered). Empty if none. The reference
+  // is invalidated by any directory mutation (flat-map storage) — copy
+  // before mutating.
+  const HolderList& Holders(BlockId block) const;
 
   // True if the only cached copy of `block` is at `client` (paper: singlet).
   bool IsSingletHeldBy(BlockId block, ClientId client) const;
@@ -97,33 +123,36 @@ class Directory {
   };
   DuplicationCounts CountDuplication() const {
     DuplicationCounts counts;
-    for (const auto& [packed, per_block] : holders_) {
+    holders_.ForEach([&counts](std::uint64_t, const PerBlock& per_block) {
       if (per_block.holders.size() == 1) {
         ++counts.singlets;
       } else if (per_block.holders.size() >= 2) {
         ++counts.duplicates;
       }
-    }
+    });
     return counts;
   }
 
-  // Visits every block with at least one holder (introspection/validation).
+  // Visits every block with at least one holder, in unspecified,
+  // capacity-dependent order (introspection/validation). Consumers must
+  // aggregate order-independently or sort.
   template <typename Fn>
   void ForEachBlock(Fn&& visitor) const {
-    for (const auto& [packed, per_block] : holders_) {
+    holders_.ForEach([&visitor](std::uint64_t packed, const PerBlock& per_block) {
       if (!per_block.holders.empty()) {
         visitor(BlockId::Unpack(packed), per_block.holders);
       }
-    }
+    });
   }
+
+  // Probe-length / occupancy statistics of the two indexes (observability).
+  FlatMapStats HoldersIndexStats() const { return holders_.Stats(); }
+  FlatMapStats FileIndexStats() const { return file_index_.Stats(); }
 
  private:
   struct PerBlock {
-    std::vector<ClientId> holders;  // Small; linear scans are fine.
+    HolderList holders;  // Small; linear scans are fine.
   };
-
-  // Removes `file`s bookkeeping for `block` when its holder set empties.
-  void ForgetBlock(BlockId block);
 
   void CountOp(DirectoryOpKind op, BlockId block, ClientId client) {
     if (op_counter_ != nullptr) {
@@ -136,9 +165,10 @@ class Directory {
 
   std::uint64_t* op_counter_ = nullptr;
   DirectoryObserver* observer_ = nullptr;
-  std::unordered_map<std::uint64_t, PerBlock> holders_;
-  // file -> packed BlockIds with (possibly stale) holder state.
-  std::unordered_map<FileId, std::vector<std::uint64_t>> file_index_;
+  FlatHashMap<std::uint64_t, PerBlock> holders_;
+  // file -> packed BlockIds with (possibly stale) holder state. Vector order
+  // is insertion order with swap-remove: deterministic, capacity-independent.
+  FlatHashMap<FileId, std::vector<std::uint64_t>> file_index_;
 };
 
 }  // namespace coopfs

@@ -88,6 +88,13 @@ struct SimulationConfig {
   // samples only.
   Micros sample_interval = 0;
 
+  // Capacity hint for the replay hash indexes (directory, known-blocks).
+  // 0 (the default) derives the hint from the aggregate cache capacity
+  // (clients x client_cache_blocks + server_cache_blocks) so steady-state
+  // replay runs rehash-free. Results are identical for any value — the
+  // capacity-determinism ctest holds that line — only rehash timing moves.
+  std::size_t index_reserve_blocks = 0;
+
   SimulationConfig& WithClientCacheMiB(std::size_t mib) {
     client_cache_blocks = BytesToBlocks(MiB(mib));
     return *this;

@@ -120,7 +120,7 @@ void PolicyBase::Write(ClientId client, BlockId block) {
   // Write-invalidate: every other client copy dies; one small invalidation
   // message per copy is charged to the server ("Other" in Figure 6). A
   // dying dirty copy was superseded before it flushed: absorbed.
-  const std::vector<ClientId> holders = ctx().directory().Holders(block);  // Copy: we mutate.
+  const Directory::HolderList holders = ctx().directory().Holders(block);  // Copy: we mutate.
   for (ClientId holder : holders) {
     if (holder == client) {
       continue;
@@ -173,7 +173,7 @@ void PolicyBase::Delete(ClientId client, FileId file) {
   // dirty blocks die with it: their writes are absorbed (never reach disk —
   // the short-lived-file effect delayed writes exploit).
   for (const BlockId& block : ctx().KnownBlocksOfFile(file)) {
-    const std::vector<ClientId> holders = ctx().directory().Holders(block);  // Copy.
+    const Directory::HolderList holders = ctx().directory().Holders(block);  // Copy.
     for (ClientId holder : holders) {
       if (const CacheEntry* entry = ctx().client_cache(holder).Find(block);
           entry != nullptr && entry->dirty) {
@@ -193,15 +193,19 @@ void PolicyBase::Delete(ClientId client, FileId file) {
 
 void PolicyBase::Reboot(ClientId client) {
   BlockCache& cache = ctx().client_cache(client);
-  // Collect first: DropLocal mutates the cache being iterated. Dirty blocks
-  // die with the machine's memory — the delayed-write reliability cost.
+  // Collect first: DropLocal mutates the cache being iterated. Scanning the
+  // LRU list (not the hash index) keeps the drop order — and with it the
+  // directory's holder-list order, which PickHolder randomness observes —
+  // independent of index capacity. Dirty blocks die with the machine's
+  // memory — the delayed-write reliability cost.
   std::vector<BlockId> cached;
   cached.reserve(cache.size());
-  cache.ForEachEntry([this, &cached](const CacheEntry& entry) {
+  cache.ScanFromLru([this, &cached](const CacheEntry& entry) {
     if (entry.dirty) {
       ctx().CountLostWrite();
     }
     cached.push_back(entry.block);
+    return false;
   });
   for (const BlockId& block : cached) {
     DropLocal(client, block);

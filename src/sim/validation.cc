@@ -42,7 +42,7 @@ Status CheckCacheDirectoryConsistency(SimContext& context) {
 
   // Directory -> caches.
   Status status = Status::Ok();
-  context.directory().ForEachBlock([&](BlockId block, const std::vector<ClientId>& holders) {
+  context.directory().ForEachBlock([&](BlockId block, const Directory::HolderList& holders) {
     if (!status.ok()) {
       return;
     }

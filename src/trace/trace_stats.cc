@@ -2,31 +2,36 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_set>
 
+#include "src/common/flat_hash_map.h"
 #include "src/common/format.h"
 
 namespace coopfs {
 
 TraceStats ComputeTraceStats(const Trace& trace) {
   TraceStats stats;
-  std::unordered_set<std::uint64_t> blocks;
-  std::unordered_set<std::uint64_t> read_blocks;
-  std::unordered_set<FileId> files;
+  FlatHashSet<std::uint64_t> blocks;
+  FlatHashSet<std::uint64_t> read_blocks;
+  FlatHashSet<FileId> files;
+  FlatHashMap<ClientId, std::uint64_t> reads_per_client;
+  // Distinct blocks are typically a small fraction of the event count; an
+  // eighth keeps big traces from rehashing more than a couple of times.
+  blocks.Reserve(trace.size() / 8 + 16);
+  read_blocks.Reserve(trace.size() / 8 + 16);
   for (const TraceEvent& e : trace) {
     ++stats.num_events;
     stats.num_clients = std::max(stats.num_clients, e.client + 1);
-    files.insert(e.block.file);
+    files.Insert(e.block.file);
     switch (e.type) {
       case EventType::kRead:
         ++stats.num_reads;
-        blocks.insert(e.block.Pack());
-        read_blocks.insert(e.block.Pack());
-        ++stats.reads_per_client[e.client];
+        blocks.Insert(e.block.Pack());
+        read_blocks.Insert(e.block.Pack());
+        ++reads_per_client[e.client];
         break;
       case EventType::kWrite:
         ++stats.num_writes;
-        blocks.insert(e.block.Pack());
+        blocks.Insert(e.block.Pack());
         break;
       case EventType::kDelete:
         ++stats.num_deletes;
@@ -45,6 +50,13 @@ TraceStats ComputeTraceStats(const Trace& trace) {
   stats.unique_blocks = blocks.size();
   stats.unique_read_blocks = read_blocks.size();
   stats.unique_files = files.size();
+  // Sort-on-emit: the accumulator's iteration order depends on hash
+  // capacity; the emitted list must not.
+  stats.reads_per_client.reserve(reads_per_client.size());
+  reads_per_client.ForEach([&stats](ClientId client, const std::uint64_t& reads) {
+    stats.reads_per_client.emplace_back(client, reads);
+  });
+  std::sort(stats.reads_per_client.begin(), stats.reads_per_client.end());
   return stats;
 }
 

@@ -4,8 +4,9 @@
 #define COOPFS_SRC_TRACE_TRACE_STATS_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/trace/event.h"
 
@@ -25,8 +26,20 @@ struct TraceStats {
   Micros duration = 0;
 
   std::uint32_t num_clients = 0;  // max client id + 1.
-  // Read counts per client, sorted by client id.
-  std::map<ClientId, std::uint64_t> reads_per_client;
+  // Read counts per client. Accumulated in a flat hash map and sorted by
+  // client id on emit, so the order is stable regardless of hash capacity.
+  std::vector<std::pair<ClientId, std::uint64_t>> reads_per_client;
+
+  // Reads by `client` (0 if the client never read). Linear probe of the
+  // sorted list; for introspection and tests, not hot paths.
+  std::uint64_t ReadsFor(ClientId client) const {
+    for (const auto& [id, reads] : reads_per_client) {
+      if (id == client) {
+        return reads;
+      }
+    }
+    return 0;
+  }
 
   // Total bytes of distinct blocks touched (unique_blocks * block size).
   std::uint64_t FootprintBytes() const { return unique_blocks * kBlockSizeBytes; }

@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <list>
+#include <deque>
 #include <numeric>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "src/cache/lru_map.h"
+#include "src/common/flat_hash_map.h"
 #include "src/common/logging.h"
 #include "src/common/profiler.h"
 
@@ -32,45 +33,33 @@ struct OpenFile {
 };
 
 // Per-client LRU set of blocks, modelling the local cache a network snooper
-// cannot see through (Auspex-style traces). Deliberately simple (std::list +
-// map): generation is not on the simulation fast path.
+// cannot see through (Auspex-style traces). Backed by the flat-indexed
+// LruMap from the cache layer: Auspex generation touches this per access,
+// and the old std::list + unordered_map version allocated on every miss.
 class SnoopFilter {
  public:
-  explicit SnoopFilter(std::size_t capacity) : capacity_(capacity) {}
+  explicit SnoopFilter(std::size_t capacity) : lru_(capacity) {}
 
   // Returns true if `block` was already present (a hidden local hit), and
   // touches/inserts it either way.
   bool Touch(BlockId block) {
     const std::uint64_t key = block.Pack();
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
+    if (lru_.Touch(key) != nullptr) {
       return true;
     }
-    lru_.push_front(key);
-    index_[key] = lru_.begin();
-    if (index_.size() > capacity_) {
-      index_.erase(lru_.back());
-      lru_.pop_back();
-    }
+    lru_.Insert(key, true);  // Over-capacity insert auto-evicts the LRU key.
     return false;
   }
 
   void EraseFile(FileId file) {
-    for (auto it = lru_.begin(); it != lru_.end();) {
-      if (BlockId::Unpack(*it).file == file) {
-        index_.erase(*it);
-        it = lru_.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    lru_.EraseIf([file](std::uint64_t key, bool) { return BlockId::Unpack(key).file == file; });
   }
 
+  // Drops all remembered blocks (reboot: the filter dies with the memory).
+  void Reset() { lru_.Clear(); }
+
  private:
-  std::size_t capacity_;
-  std::list<std::uint64_t> lru_;
-  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> index_;
+  LruMap<std::uint64_t, bool> lru_;
 };
 
 // Weighted discrete sampler over a fixed weight vector (CDF + binary search).
@@ -148,7 +137,7 @@ class WorkloadGenerator {
     trace.push_back(event);
     working_sets_[client].clear();
     if (!snoop_filters_.empty()) {
-      snoop_filters_[client] = SnoopFilter(config_.snoop_filter_blocks);
+      snoop_filters_[client].Reset();
     }
   }
 
@@ -206,6 +195,9 @@ class WorkloadGenerator {
       }
     }
     last_attr_.resize(config_.num_clients);
+    for (auto& per_file : last_attr_) {
+      per_file.Reserve(kAttrReserveFiles);
+    }
   }
 
   // Picks a file slot for `client` opening a file of class `ci`.
@@ -339,12 +331,13 @@ class WorkloadGenerator {
   // attribute-cache window (paper §4.4: NFS hides validations for 3 s).
   bool AttrDue(ClientId client, FileId file) {
     auto& per_file = last_attr_[client];
-    auto [it, inserted] = per_file.try_emplace(file, clock_);
+    auto [last, inserted] = per_file.TryEmplace(file);
     if (inserted) {
+      *last = clock_;
       return true;
     }
-    if (clock_ - it->second >= config_.attr_cache_window) {
-      it->second = clock_;
+    if (clock_ - *last >= config_.attr_cache_window) {
+      *last = clock_;
       return true;
     }
     return false;
@@ -361,9 +354,14 @@ class WorkloadGenerator {
   std::optional<WeightedSampler> client_sampler_;
   FileId next_file_id_ = 0;
 
+  // Per-client attribute-cache reserve: covers a client's recently validated
+  // files for the calibrated workloads (a few hundred active files each);
+  // heavier per-client footprints cost a few amortized table growths.
+  static constexpr std::size_t kAttrReserveFiles = 256;
+
   std::vector<std::vector<OpenFile>> working_sets_;
-  std::vector<SnoopFilter> snoop_filters_;
-  std::vector<std::unordered_map<FileId, Micros>> last_attr_;
+  std::deque<SnoopFilter> snoop_filters_;  // deque: SnoopFilter is immovable.
+  std::vector<FlatHashMap<FileId, Micros>> last_attr_;
 };
 
 }  // namespace

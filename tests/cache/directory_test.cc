@@ -134,7 +134,7 @@ TEST(DirectoryTest, ForEachBlockSkipsEmptyHolderSets) {
   dir.AddHolder(B(2), 2);
   dir.RemoveHolder(B(2), 2);
   int visited = 0;
-  dir.ForEachBlock([&](BlockId block, const std::vector<ClientId>& holders) {
+  dir.ForEachBlock([&](BlockId block, const Directory::HolderList& holders) {
     EXPECT_EQ(block, B(1));
     EXPECT_EQ(holders.size(), 1u);
     ++visited;

@@ -1,0 +1,101 @@
+// Hash-index capacity must never change simulation results.
+//
+// The replay hot path runs on open-addressing FlatHashMaps whose iteration
+// order changes with bucket count. Every consumer of map iteration is
+// required to aggregate order-independently, sort on emit, or walk a
+// capacity-independent structure (the LRU list) instead — so replaying the
+// same trace with default-sized, minimally-sized, and hugely over-reserved
+// indexes must serialize to byte-identical coopfs.metrics/v1,
+// coopfs.events/v1, and coopfs.timeseries/v1 documents. The workload enables
+// reboots: PolicyBase::Reboot drains a whole cache at once, historically the
+// easiest place for iteration order to leak into directory holder order and
+// from there into PickHolder's RNG-visible choices.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/sweep.h"
+#include "src/obs/metrics_exporter.h"
+#include "src/obs/snapshot_sampler.h"
+#include "src/obs/trace_recorder.h"
+#include "src/obs/trace_sink.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload.h"
+
+namespace coopfs {
+namespace {
+
+class CapacityDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig workload = SmallTestWorkloadConfig();
+    workload.num_events = 30'000;
+    // Reboots exercise the bulk cache-drain path (see file comment).
+    workload.mean_reboots_per_client = 2.0;
+    trace_ = new Trace(GenerateWorkload(workload));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+
+  // One policy's full observable output (metrics + events + timeseries)
+  // with the given index reserve hint, as one serialized blob.
+  static std::string RunSerialized(PolicyKind kind, std::size_t index_reserve_blocks) {
+    TraceRecorder recorder;
+    SnapshotSampler sampler;
+    SimulationConfig config;
+    config.WithClientCacheMiB(1).WithServerCacheMiB(4);
+    config.warmup_events = trace_->size() / 4;
+    config.index_reserve_blocks = index_reserve_blocks;
+    config.trace_recorder = &recorder;
+    config.snapshot_sampler = &sampler;
+    config.sample_interval = (trace_->back().timestamp - trace_->front().timestamp) / 7;
+    Simulator simulator(config, trace_);
+    auto policy = MakePolicy(kind);
+    Result<SimulationResult> result = simulator.Run(*policy);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok()) {
+      return {};
+    }
+    TraceExportMetadata metadata;
+    metadata.seed = config.seed;
+    metadata.trace_events = trace_->size();
+    metadata.workload = "small-test-reboots";
+    std::string combined = SimulationResultToJson(*result);
+    combined += '\n';
+    combined += EventsToJsonl(recorder.runs(), metadata);
+    combined += '\n';
+    combined += TimeseriesToJsonl(sampler.runs(), metadata);
+    return combined;
+  }
+
+  static Trace* trace_;
+};
+
+Trace* CapacityDeterminismTest::trace_ = nullptr;
+
+TEST_F(CapacityDeterminismTest, ExportsAreByteIdenticalAcrossIndexCapacities) {
+  for (PolicyKind kind : AllPolicyKinds()) {
+    // Default hint (derived from cache sizes).
+    const std::string baseline = RunSerialized(kind, 0);
+    ASSERT_FALSE(baseline.empty());
+    // Minimal hint: every index starts at the smallest table and grows
+    // through many rehashes during replay.
+    EXPECT_EQ(RunSerialized(kind, 1), baseline)
+        << PolicyKindName(kind) << ": minimally-sized indexes diverged";
+    // Over-reserved: no index ever rehashes.
+    EXPECT_EQ(RunSerialized(kind, 1u << 18), baseline)
+        << PolicyKindName(kind) << ": over-reserved indexes diverged";
+  }
+}
+
+TEST_F(CapacityDeterminismTest, RepeatRunsAreByteIdentical) {
+  const std::string first = RunSerialized(PolicyKind::kNChance, 0);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(RunSerialized(PolicyKind::kNChance, 0), first);
+}
+
+}  // namespace
+}  // namespace coopfs

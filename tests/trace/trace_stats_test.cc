@@ -50,8 +50,30 @@ TEST(TraceStatsTest, PerClientReads) {
   trace.push_back({1, {1, 1}, 0, EventType::kRead});
   trace.push_back({2, {1, 2}, 1, EventType::kRead});
   const TraceStats stats = ComputeTraceStats(trace);
-  EXPECT_EQ(stats.reads_per_client.at(0), 2u);
-  EXPECT_EQ(stats.reads_per_client.at(1), 1u);
+  EXPECT_EQ(stats.ReadsFor(0), 2u);
+  EXPECT_EQ(stats.ReadsFor(1), 1u);
+  EXPECT_EQ(stats.ReadsFor(7), 0u);  // Never read.
+}
+
+// Regression: reads_per_client is emitted sorted by client id no matter the
+// order clients appear in the trace (the accumulator is a hash map whose
+// iteration order must not leak).
+TEST(TraceStatsTest, PerClientReadsEmittedSortedByClientId) {
+  Trace trace;
+  const ClientId clients[] = {9, 3, 27, 0, 14, 3, 9, 1};
+  Micros t = 0;
+  for (ClientId c : clients) {
+    trace.push_back({t++, {1, 0}, c, EventType::kRead});
+  }
+  const TraceStats stats = ComputeTraceStats(trace);
+  ASSERT_EQ(stats.reads_per_client.size(), 6u);
+  for (std::size_t i = 1; i < stats.reads_per_client.size(); ++i) {
+    EXPECT_LT(stats.reads_per_client[i - 1].first, stats.reads_per_client[i].first);
+  }
+  EXPECT_EQ(stats.reads_per_client.front().first, 0u);
+  EXPECT_EQ(stats.reads_per_client.back().first, 27u);
+  EXPECT_EQ(stats.ReadsFor(3), 2u);
+  EXPECT_EQ(stats.ReadsFor(9), 2u);
 }
 
 TEST(TraceStatsTest, ToStringMentionsCounts) {

@@ -1,0 +1,142 @@
+// Perf-regression gate: compares two "coopfs.bench/v1" documents.
+//
+// Usage: bench_compare BASELINE.json CANDIDATE.json [--threshold PCT]
+//
+// Prints a per-series throughput delta table for every series present in
+// both documents, then exits non-zero if any replay series (name starting
+// with "replay_") in the candidate is more than PCT percent slower than the
+// baseline (default 10), or if a baseline replay series is missing from the
+// candidate. Non-replay series (microbenches, exports, parallel sweeps) are
+// reported but do not gate: they are noisier and machine-dependent, while
+// the replay series are the numbers the paper reproduction actually spends
+// its time in. CI runs this against the committed BENCH_coopfs.json; see
+// docs/performance.md for the re-baselining workflow.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/format.h"
+#include "src/common/json.h"
+#include "src/obs/bench_report.h"
+
+namespace coopfs {
+namespace {
+
+struct SeriesSample {
+  std::string name;
+  double ops_per_sec = 0.0;
+};
+
+// Loads, schema-validates, and flattens one bench document.
+bool LoadSeries(const std::string& path, std::vector<SeriesSample>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (Status status = ValidateBenchDocument(text); !status.ok()) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    return false;
+  }
+  Result<JsonValue> doc = ParseJson(text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                 doc.status().ToString().c_str());
+    return false;
+  }
+  const JsonValue* series = doc->FindArray("series");
+  for (const JsonValue& entry : series->items()) {
+    SeriesSample sample;
+    sample.name = entry.FindString("name")->AsString();
+    sample.ops_per_sec = entry.FindNumber("ops_per_sec")->AsDouble();
+    out->push_back(std::move(sample));
+  }
+  return true;
+}
+
+const SeriesSample* FindByName(const std::vector<SeriesSample>& series,
+                               std::string_view name) {
+  for (const SeriesSample& sample : series) {
+    if (sample.name == name) {
+      return &sample;
+    }
+  }
+  return nullptr;
+}
+
+bool IsGated(std::string_view name) { return name.rfind("replay_", 0) == 0; }
+
+int Run(int argc, char** argv) {
+  double threshold_pct = 10.0;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold_pct = std::strtod(argv[++i], nullptr);
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare BASELINE.json CANDIDATE.json"
+                 " [--threshold PCT]\n");
+    return 2;
+  }
+
+  std::vector<SeriesSample> baseline;
+  std::vector<SeriesSample> candidate;
+  if (!LoadSeries(paths[0], &baseline) || !LoadSeries(paths[1], &candidate)) {
+    return 2;
+  }
+
+  TableFormatter table({"Series", "Baseline", "Candidate", "Delta", "Gate"});
+  std::vector<std::string> failures;
+  for (const SeriesSample& base : baseline) {
+    const SeriesSample* cand = FindByName(candidate, base.name);
+    if (cand == nullptr) {
+      if (IsGated(base.name)) {
+        failures.push_back(base.name + ": missing from candidate");
+      }
+      continue;
+    }
+    const double delta_pct = base.ops_per_sec > 0.0
+        ? (cand->ops_per_sec - base.ops_per_sec) / base.ops_per_sec * 100.0
+        : 0.0;
+    const bool gated = IsGated(base.name);
+    const bool regressed = gated && delta_pct < -threshold_pct;
+    table.AddRow({base.name, FormatDouble(base.ops_per_sec / 1e6, 2) + " M/s",
+                  FormatDouble(cand->ops_per_sec / 1e6, 2) + " M/s",
+                  FormatDouble(delta_pct, 1) + " %",
+                  regressed ? "FAIL" : (gated ? "ok" : "-")});
+    if (regressed) {
+      failures.push_back(base.name + ": " + FormatDouble(-delta_pct, 1) +
+                         "% slower (threshold " +
+                         FormatDouble(threshold_pct, 1) + "%)");
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  if (!failures.empty()) {
+    for (const std::string& failure : failures) {
+      std::fprintf(stderr, "bench_compare: REGRESSION %s\n", failure.c_str());
+    }
+    return 1;
+  }
+  std::printf("bench_compare: no replay series regressed more than %s%%\n",
+              FormatDouble(threshold_pct, 1).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace coopfs
+
+int main(int argc, char** argv) { return coopfs::Run(argc, argv); }
