@@ -1,0 +1,93 @@
+# Golden-output check for the coopfs_bench driver (run via `cmake -P`).
+#
+# The driver's contract is byte-identity: its stdout for a --filter selection
+# must equal the concatenated stdout of the corresponding standalone binaries
+# in registration order. Runs each standalone, runs the driver once with
+# FILTER, and fails if the bytes differ. Also asserts the driver wrote one
+# coopfs.run/v1 manifest per selected experiment into OUT_DIR.
+#
+# Expected -D variables:
+#   DRIVER       path to the coopfs_bench binary
+#   STANDALONES  ;-list of standalone binary paths, in registration order
+#   NAMES        ;-list of experiment names matching STANDALONES
+#   FILTER       the --filter glob selecting exactly those experiments
+#   EVENTS       --events value (kept small for test time)
+#   OUT_DIR      scratch --out-dir for manifests
+foreach(var DRIVER STANDALONES NAMES FILTER EVENTS OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_driver_golden.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+# Pass 1 — stdout byte-identity. No export flags: the "wrote metrics
+# document: <path>" status line embeds the output path, so stdout is only
+# comparable when both sides run with identical flags.
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}/standalone")
+set(expected "")
+list(LENGTH STANDALONES num_standalones)
+math(EXPR last_index "${num_standalones} - 1")
+foreach(i RANGE ${last_index})
+  list(GET STANDALONES ${i} binary)
+  execute_process(COMMAND "${binary}" --events "${EVENTS}"
+    OUTPUT_VARIABLE standalone_out RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "standalone ${binary} failed with exit code ${rc}")
+  endif()
+  string(APPEND expected "${standalone_out}")
+endforeach()
+
+execute_process(COMMAND "${DRIVER}" --filter "${FILTER}" --events "${EVENTS}"
+    --out-dir "${OUT_DIR}"
+  OUTPUT_VARIABLE driver_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "coopfs_bench --filter '${FILTER}' failed with exit code ${rc}")
+endif()
+
+if(NOT driver_out STREQUAL expected)
+  string(LENGTH "${driver_out}" got_len)
+  string(LENGTH "${expected}" want_len)
+  file(WRITE "${OUT_DIR}/driver.stdout" "${driver_out}")
+  file(WRITE "${OUT_DIR}/standalones.stdout" "${expected}")
+  message(FATAL_ERROR "driver output (${got_len} bytes) differs from the "
+    "concatenated standalone outputs (${want_len} bytes); see "
+    "${OUT_DIR}/driver.stdout vs ${OUT_DIR}/standalones.stdout")
+endif()
+
+foreach(name IN LISTS NAMES)
+  if(NOT EXISTS "${OUT_DIR}/${name}.run.json")
+    message(FATAL_ERROR "driver did not write ${OUT_DIR}/${name}.run.json")
+  endif()
+endforeach()
+
+# Pass 2 — coopfs.metrics/v1 byte-identity. Each standalone writes its own
+# --json file; with several experiments selected the driver treats --json as
+# a directory and writes <dir>/<name>.metrics.json per experiment.
+foreach(i RANGE ${last_index})
+  list(GET STANDALONES ${i} binary)
+  list(GET NAMES ${i} name)
+  execute_process(COMMAND "${binary}" --events "${EVENTS}"
+      --json "${OUT_DIR}/standalone/${name}.metrics.json"
+    OUTPUT_QUIET RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "standalone ${binary} --json failed with exit code ${rc}")
+  endif()
+endforeach()
+execute_process(COMMAND "${DRIVER}" --filter "${FILTER}" --events "${EVENTS}"
+    --out-dir "${OUT_DIR}" --json "${OUT_DIR}/driver"
+  OUTPUT_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "coopfs_bench --json rerun failed with exit code ${rc}")
+endif()
+foreach(name IN LISTS NAMES)
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files
+      "${OUT_DIR}/standalone/${name}.metrics.json"
+      "${OUT_DIR}/driver/${name}.metrics.json"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "driver metrics export for ${name} differs from the "
+      "standalone's (${OUT_DIR}/driver vs ${OUT_DIR}/standalone)")
+  endif()
+endforeach()
+message(STATUS "driver stdout and metrics exports byte-identical to the "
+  "standalones for '${FILTER}', and all manifests written")

@@ -1,0 +1,7 @@
+// coopfs_bench: the declarative experiment driver. See src/exp/driver.h for
+// the command-line surface (--list, --filter, --threads, --out-dir, plus all
+// BenchOptions flags) and docs/metrics_schema.md for the coopfs.run/v1
+// manifest every run writes.
+#include "src/exp/driver.h"
+
+int main(int argc, char** argv) { return coopfs::DriverMain(argc, argv); }

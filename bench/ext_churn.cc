@@ -1,57 +1,8 @@
-// Extension ablation: workstation churn. The paper's traces cover stable
-// machines; real LANs reboot. A reboot destroys the rebooting client's
-// cache — including any singlets it was cooperatively holding — so the
-// algorithms that depend on remote memory should degrade gracefully as the
-// reboot rate rises, and the baseline (which never depends on peers)
-// should degrade least.
-#include <cstdio>
-
-#include "bench/bench_common.h"
-#include "src/common/format.h"
-#include "src/trace/workload.h"
+// Standalone wrapper for the 'ext_churn' experiment. The experiment body lives
+// in src/exp/specs/ext_churn.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter ext_churn`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace coopfs;
-
-  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
-  std::printf("=== Extension: client churn (reboots) ===\n");
-  std::printf("workload: %llu events, seed %llu; reboot rate swept per client per trace\n\n",
-              static_cast<unsigned long long>(options.events),
-              static_cast<unsigned long long>(options.seed));
-
-  TableFormatter table({"Reboots/client", "Baseline", "Greedy", "Central", "N-Chance",
-                        "N-Chance coop loss"});
-  double no_churn_nchance = 0.0;
-  double no_churn_base = 0.0;
-  for (const double rate : {0.0, 2.0, 8.0, 32.0, 128.0}) {
-    WorkloadConfig workload = SpriteWorkloadConfig(options.seed);
-    workload.num_events = options.events;
-    workload.mean_reboots_per_client = rate;
-    const Trace trace = GenerateWorkload(workload);
-    SimulationConfig config = PaperConfig(options, trace.size());
-    Simulator simulator(config, &trace);
-
-    const SimulationResult base = MustRun(simulator, PolicyKind::kBaseline);
-    const SimulationResult greedy = MustRun(simulator, PolicyKind::kGreedy);
-    const SimulationResult central = MustRun(simulator, PolicyKind::kCentralCoord);
-    const SimulationResult nchance = MustRun(simulator, PolicyKind::kNChance);
-    if (rate == 0.0) {
-      no_churn_nchance = nchance.AverageReadTime();
-      no_churn_base = base.AverageReadTime();
-    }
-    // How much of N-Chance's cooperative advantage over the baseline
-    // survives the churn?
-    const double advantage =
-        (base.AverageReadTime() - nchance.AverageReadTime()) /
-        (no_churn_base - no_churn_nchance);
-    table.AddRow({FormatDouble(rate, 0), FormatDouble(base.AverageReadTime(), 0) + " us",
-                  FormatDouble(greedy.AverageReadTime(), 0) + " us",
-                  FormatDouble(central.AverageReadTime(), 0) + " us",
-                  FormatDouble(nchance.AverageReadTime(), 0) + " us",
-                  FormatPercent(1.0 - advantage, 0)});
-  }
-  std::printf("%s\n", table.ToString().c_str());
-  std::printf("expected: cooperative benefit erodes with churn but degrades gracefully; the\n"
-              "baseline suffers only its own clients' cold caches\n");
-  return 0;
+  return coopfs::ExperimentMain("ext_churn", argc, argv);
 }

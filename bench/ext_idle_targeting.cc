@@ -1,66 +1,8 @@
-// Extension ablation (paper §2.4's suggested enhancement): forward evicted
-// singlets to the most idle client instead of a uniformly random one. The
-// paper hypothesizes this "avoids disturbing active clients"; this bench
-// measures both global response time and the speedup of the busiest
-// clients under each forwarding rule.
-#include <algorithm>
-#include <cstdio>
-
-#include "bench/bench_common.h"
-#include "src/common/format.h"
-#include "src/core/nchance.h"
-#include "src/core/nchance_idle.h"
+// Standalone wrapper for the 'ext_idle_targeting' experiment. The experiment body lives
+// in src/exp/specs/ext_idle_targeting.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter ext_idle_targeting`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace coopfs;
-
-  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
-  const Trace& trace = SpriteTrace(options);
-  const SimulationConfig config = PaperConfig(options, trace.size());
-  PrintBanner("Extension: idle-targeted forwarding",
-              "random vs. idle-aware N-Chance singlet placement", options, trace.size());
-
-  Simulator simulator(config, &trace);
-  const SimulationResult baseline = MustRun(simulator, PolicyKind::kBaseline);
-  NChancePolicy random_forwarding(2);
-  NChanceIdleAwarePolicy idle_forwarding(2);
-  const SimulationResult random_result = MustRun(simulator, random_forwarding);
-  const SimulationResult idle_result = MustRun(simulator, idle_forwarding);
-
-  TableFormatter table({"Forwarding rule", "Avg read", "Speedup", "Local", "Remote", "Disk"});
-  for (const SimulationResult* result : {&random_result, &idle_result}) {
-    table.AddRow({result->policy_name, FormatDouble(result->AverageReadTime(), 0) + " us",
-                  FormatDouble(result->SpeedupOver(baseline), 2) + "x",
-                  FormatPercent(result->LevelFraction(CacheLevel::kLocalMemory)),
-                  FormatPercent(result->LevelFraction(CacheLevel::kRemoteClient)),
-                  FormatPercent(result->DiskRate())});
-  }
-  std::printf("%s\n", table.ToString().c_str());
-
-  // Busiest-decile clients: does idle targeting protect them?
-  std::vector<std::size_t> order(baseline.per_client.size());
-  for (std::size_t c = 0; c < order.size(); ++c) {
-    order[c] = c;
-  }
-  std::sort(order.begin(), order.end(), [&baseline](std::size_t a, std::size_t b) {
-    return baseline.per_client[a].reads > baseline.per_client[b].reads;
-  });
-  const std::size_t top = std::max<std::size_t>(1, order.size() / 10);
-  const auto top_decile_speedup = [&](const SimulationResult& result) {
-    const std::vector<double> speedups = result.PerClientSpeedup(baseline);
-    double total_reads = 0.0;
-    double weighted = 0.0;
-    for (std::size_t rank = 0; rank < top; ++rank) {
-      const std::size_t c = order[rank];
-      const auto reads = static_cast<double>(baseline.per_client[c].reads);
-      weighted += speedups[c] * reads;
-      total_reads += reads;
-    }
-    return weighted / total_reads;
-  };
-  std::printf("busiest %zu clients, read-weighted speedup: random %sx, idle-aware %sx\n", top,
-              FormatDouble(top_decile_speedup(random_result), 3).c_str(),
-              FormatDouble(top_decile_speedup(idle_result), 3).c_str());
-  std::printf("(paper §2.4: idle targeting should help by not disturbing active clients)\n");
-  return 0;
+  return coopfs::ExperimentMain("ext_idle_targeting", argc, argv);
 }

@@ -1,69 +1,8 @@
-// Extension analysis (paper §3 caveat): queueing delay at the server.
-//
-// The paper computes response times with no queueing, arguing that the
-// attractive algorithms do not raise server load and the network is
-// switched. This bench quantifies the caveat with a standard M/M/1
-// correction: given a server that can process C load-units per second, an
-// algorithm generating lambda units/second sees its server-side service
-// times inflated by 1/(1 - lambda/C). Algorithms that push more traffic
-// through the server (Central Coordination) hit the wall first; Hash
-// Distribution, which bypasses the server for cooperative hits, lasts
-// longest — making the paper's server-load argument concrete.
-#include <cstdio>
-
-#include "bench/bench_common.h"
-#include "src/common/format.h"
-#include "src/sim/queueing.h"
+// Standalone wrapper for the 'ext_queueing' experiment. The experiment body lives
+// in src/exp/specs/ext_queueing.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter ext_queueing`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace coopfs;
-
-  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
-  const Trace& trace = SpriteTrace(options);
-  const SimulationConfig config = PaperConfig(options, trace.size());
-  PrintBanner("Extension: server queueing sensitivity",
-              "M/M/1-adjusted response vs. server capacity", options, trace.size());
-
-  Simulator simulator(config, &trace);
-  const std::vector<PolicyKind> kinds = {PolicyKind::kBaseline, PolicyKind::kGreedy,
-                                         PolicyKind::kCentralCoord, PolicyKind::kNChance,
-                                         PolicyKind::kHashDistributed};
-  std::vector<SimulationResult> results;
-  for (PolicyKind kind : kinds) {
-    results.push_back(MustRun(simulator, kind));
-  }
-
-  // Post-warm-up simulated wall time.
-  const Micros span = trace.back().timestamp - trace[config.warmup_events].timestamp;
-  const double seconds = static_cast<double>(span) / 1e6;
-
-  std::printf("offered server load (units/s): ");
-  for (const SimulationResult& result : results) {
-    std::printf("%s %s  ", result.policy_name.c_str(),
-                FormatDouble(OfferedLoadUnitsPerSecond(result, seconds), 0).c_str());
-  }
-  std::printf("\n\n");
-
-  TableFormatter table({"Server capacity", "Baseline", "Greedy", "Central", "N-Chance", "Hash"});
-  const double base_rate = OfferedLoadUnitsPerSecond(results.front(), seconds);
-  for (const double capacity : {50.0, 20.0, 10.0, 5.0, 3.0, 2.0}) {
-    // Capacity expressed as a multiple of the baseline's offered load.
-    const double capacity_units = capacity * base_rate;
-    std::vector<std::string> row{FormatDouble(capacity, 0) + "x base load"};
-    for (const SimulationResult& result : results) {
-      const Result<QueueingAdjustment> adjusted =
-          ApplyServerQueueing(result, seconds, capacity_units);
-      if (!adjusted.ok() || adjusted->saturated || adjusted->utilization >= 0.99) {
-        row.push_back("saturated");
-        continue;
-      }
-      row.push_back(FormatDouble(adjusted->adjusted_read_time, 0) + " us");
-    }
-    table.AddRow(std::move(row));
-  }
-  std::printf("%s\n", table.ToString().c_str());
-  std::printf("expected: rankings stable at generous capacity; Central saturates first as\n"
-              "capacity tightens (its local misses all transit the server), vindicating the\n"
-              "paper's decision to report Figure 6 alongside unqueued response times\n");
-  return 0;
+  return coopfs::ExperimentMain("ext_queueing", argc, argv);
 }

@@ -1,50 +1,8 @@
-// Extension ablation (paper §3 and §5): delayed writes vs. write-through.
-//
-// The paper asserts that, because it studies reads, "a delayed write or
-// write back policy would not affect our results", and points (§5) at
-// DASH-style dirty-data forwarding as the natural companion optimization.
-// This bench validates the claim — read response barely moves — and
-// quantifies what delayed writes buy on the write path: the fraction of
-// server write traffic absorbed because blocks were overwritten or deleted
-// before their 30 s flush came due.
-#include <cstdio>
-
-#include "bench/bench_common.h"
-#include "src/common/format.h"
+// Standalone wrapper for the 'ext_write_policy' experiment. The experiment body lives
+// in src/exp/specs/ext_write_policy.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter ext_write_policy`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace coopfs;
-
-  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
-  const Trace& trace = SpriteTrace(options);
-  PrintBanner("Extension: write policy", "write-through vs. 30 s delayed writes", options,
-              trace.size());
-
-  TableFormatter table({"Algorithm / write policy", "Avg read", "Disk rate", "Writes",
-                        "Flushed", "Absorbed", "Write traffic"});
-  for (PolicyKind kind : {PolicyKind::kBaseline, PolicyKind::kGreedy, PolicyKind::kNChance}) {
-    for (const WritePolicy write_policy :
-         {WritePolicy::kWriteThrough, WritePolicy::kDelayedWrite}) {
-      SimulationConfig config = PaperConfig(options, trace.size());
-      config.write_policy = write_policy;
-      Simulator simulator(config, &trace);
-      const SimulationResult result = MustRun(simulator, kind);
-      const bool delayed = write_policy == WritePolicy::kDelayedWrite;
-      // Write traffic to the server: every write (through) vs. only flushes.
-      const std::uint64_t traffic = delayed ? result.flushed_writes : result.writes;
-      table.AddRow({result.policy_name + (delayed ? " / delayed" : " / through"),
-                    FormatDouble(result.AverageReadTime(), 0) + " us",
-                    FormatPercent(result.DiskRate()), std::to_string(result.writes),
-                    delayed ? std::to_string(result.flushed_writes) : "-",
-                    delayed ? std::to_string(result.absorbed_writes) : "-",
-                    result.writes == 0
-                        ? "-"
-                        : FormatPercent(static_cast<double>(traffic) /
-                                        static_cast<double>(result.writes))});
-    }
-  }
-  std::printf("%s\n", table.ToString().c_str());
-  std::printf("expected: read columns nearly identical across write policies (paper §3); the\n"
-              "delayed rows show the server write traffic saved by absorption\n");
-  return 0;
+  return coopfs::ExperimentMain("ext_write_policy", argc, argv);
 }

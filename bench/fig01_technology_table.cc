@@ -1,37 +1,8 @@
-// Figure 1: time to service a local cache miss from remote memory or disk,
-// for 10 Mbit/s Ethernet and 155 Mbit/s ATM. Pure technology-model table —
-// reproduces the paper's numbers exactly.
-#include <cstdio>
+// Standalone wrapper for the 'fig01_technology_table' experiment. The experiment body lives
+// in src/exp/specs/fig01_technology_table.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter fig01_technology_table`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
-#include "src/common/format.h"
-#include "src/model/network_model.h"
-
-int main() {
-  using namespace coopfs;
-
-  const NetworkModel ethernet = NetworkModel::Ethernet10();
-  const NetworkModel atm = NetworkModel::Atm155();
-  const DiskModel disk = DiskModel::RuemmlerWilkes();
-
-  std::printf("=== Figure 1: local-miss service time, remote memory vs. remote disk ===\n\n");
-
-  TableFormatter table({"", "Eth Remote Mem", "Eth Remote Disk", "ATM Remote Mem",
-                        "ATM Remote Disk"});
-  auto us = [](Micros value) { return std::to_string(value) + " us"; };
-
-  table.AddRow({"Mem. Copy", us(ethernet.memory_copy), us(ethernet.memory_copy),
-                us(atm.memory_copy), us(atm.memory_copy)});
-  table.AddRow({"Net Overhead", us(ethernet.per_hop * 2), us(ethernet.per_hop * 2),
-                us(atm.per_hop * 2), us(atm.per_hop * 2)});
-  table.AddRow({"Data", us(ethernet.block_transfer), us(ethernet.block_transfer),
-                us(atm.block_transfer), us(atm.block_transfer)});
-  table.AddRow({"Disk", "", us(disk.access_time), "", us(disk.access_time)});
-  table.AddRule();
-  table.AddRow({"Total", us(ethernet.RemoteFetchTime(2)),
-                us(ethernet.RemoteFetchTime(2) + disk.access_time), us(atm.RemoteFetchTime(2)),
-                us(atm.RemoteFetchTime(2) + disk.access_time)});
-  std::printf("%s\n", table.ToString().c_str());
-
-  std::printf("paper reported: 6,900 / 21,700 / 1,050 / 15,850 us\n");
-  return 0;
+int main(int argc, char** argv) {
+  return coopfs::ExperimentMain("fig01_technology_table", argc, argv);
 }

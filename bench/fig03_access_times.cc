@@ -1,33 +1,8 @@
-// Figure 3: access times for the four memory-hierarchy levels under each
-// cooperative caching algorithm. The only difference between algorithms is
-// the hop count to remote client memory (2 for Direct, 3 for the
-// server-forwarded algorithms).
-#include <cstdio>
+// Standalone wrapper for the 'fig03_access_times' experiment. The experiment body lives
+// in src/exp/specs/fig03_access_times.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter fig03_access_times`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
-#include "src/common/format.h"
-#include "src/model/access_times.h"
-
-int main() {
-  using namespace coopfs;
-
-  const NetworkModel atm = NetworkModel::Atm155();
-  const DiskModel disk = DiskModel::RuemmlerWilkes();
-
-  std::printf("=== Figure 3: per-level access times by algorithm (ATM) ===\n\n");
-
-  TableFormatter table({"Algorithm", "Local Mem.", "Remote Client Mem.", "Server Mem.",
-                        "Server Disk"});
-  auto row = [&table](const char* name, const AccessTimes& times) {
-    table.AddRow({name, std::to_string(times.local) + " us",
-                  std::to_string(times.remote_client) + " us",
-                  std::to_string(times.server_memory) + " us",
-                  std::to_string(times.server_disk) + " us"});
-  };
-  row("Direct", ComputeAccessTimes(atm, disk, /*remote_hops=*/2));
-  row("Greedy", ComputeAccessTimes(atm, disk, /*remote_hops=*/3));
-  row("Central", ComputeAccessTimes(atm, disk, /*remote_hops=*/3));
-  row("N-Chance", ComputeAccessTimes(atm, disk, /*remote_hops=*/3));
-  std::printf("%s\n", table.ToString().c_str());
-  std::printf("paper reported: 250 / 1050 or 1250 / 1050 / 15,850 us\n");
-  return 0;
+int main(int argc, char** argv) {
+  return coopfs::ExperimentMain("fig03_access_times", argc, argv);
 }

@@ -1,40 +1,8 @@
-// Figure 4: average block read time per algorithm, segmented by the level
-// that satisfied each read, plus the headline speedups (paper: Direct 1.05,
-// Greedy 1.22, Central 1.64, N-Chance 1.73, best case ~1.77).
-#include <cstdio>
-
-#include "bench/bench_common.h"
-#include "src/common/format.h"
+// Standalone wrapper for the 'fig04_read_time' experiment. The experiment body lives
+// in src/exp/specs/fig04_read_time.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter fig04_read_time`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace coopfs;
-
-  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
-  const Trace& trace = SpriteTrace(options);
-  const SimulationConfig config = PaperConfig(options, trace.size());
-  PrintBanner("Figure 4", "average block read time by algorithm", options, trace.size());
-
-  Simulator simulator(config, &trace);
-  std::vector<SimulationResult> results;
-  for (PolicyKind kind : Figure4PolicyKinds()) {
-    results.push_back(MustRun(simulator, kind));
-  }
-  const SimulationResult& baseline = results.front();
-
-  TableFormatter table({"Algorithm", "Avg read", "Speedup", "Local t", "Remote t", "Server t",
-                        "Disk t"});
-  for (const SimulationResult& result : results) {
-    const double reads = static_cast<double>(result.reads);
-    table.AddRow({result.policy_name, FormatDouble(result.AverageReadTime(), 0) + " us",
-                  FormatDouble(result.SpeedupOver(baseline), 2) + "x",
-                  FormatDouble(result.level_time_us[0] / reads, 0) + " us",
-                  FormatDouble(result.level_time_us[1] / reads, 0) + " us",
-                  FormatDouble(result.level_time_us[2] / reads, 0) + " us",
-                  FormatDouble(result.level_time_us[3] / reads, 0) + " us"});
-  }
-  std::printf("%s\n", table.ToString().c_str());
-  std::printf("paper reported speedups: Direct 1.05x, Greedy 1.22x, Central 1.64x, "
-              "N-Chance 1.73x (both coordinated algorithms within 10%% of best case)\n");
-  MaybeWriteJson(options, config, results);
-  return 0;
+  return coopfs::ExperimentMain("fig04_read_time", argc, argv);
 }

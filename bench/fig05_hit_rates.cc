@@ -1,36 +1,8 @@
-// Figure 5: fraction of reads satisfied at each level of the hierarchy.
-// Paper: local miss rates 22% (base/direct/greedy/best), 36% (central),
-// 23% (N-Chance); disk rates 15.7% (base) vs 7.6-7.7% (coordinated).
-#include <cstdio>
-
-#include "bench/bench_common.h"
-#include "src/common/format.h"
+// Standalone wrapper for the 'fig05_hit_rates' experiment. The experiment body lives
+// in src/exp/specs/fig05_hit_rates.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter fig05_hit_rates`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace coopfs;
-
-  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
-  const Trace& trace = SpriteTrace(options);
-  const SimulationConfig config = PaperConfig(options, trace.size());
-  PrintBanner("Figure 5", "hit level breakdown by algorithm", options, trace.size());
-
-  Simulator simulator(config, &trace);
-  TableFormatter table({"Algorithm", "Local miss", "Remote Client", "Server Mem", "Server Disk",
-                        "Combined-mem miss"});
-  std::vector<SimulationResult> results;
-  for (PolicyKind kind : Figure4PolicyKinds()) {
-    results.push_back(MustRun(simulator, kind));
-    const SimulationResult& result = results.back();
-    const double remote = result.LevelFraction(CacheLevel::kRemoteClient);
-    const double disk = result.DiskRate();
-    table.AddRow({result.policy_name, FormatPercent(result.LocalMissRate()),
-                  FormatPercent(remote),
-                  FormatPercent(result.LevelFraction(CacheLevel::kServerMemory)),
-                  FormatPercent(disk), FormatPercent(remote + disk)});
-  }
-  std::printf("%s\n", table.ToString().c_str());
-  std::printf("paper reported: local miss 22%% (base/greedy/best) / 36%% (central) / 23%% "
-              "(N-Chance); disk 15.7%% base -> 7.6-7.7%% coordinated\n");
-  MaybeWriteJson(options, config, results);
-  return 0;
+  return coopfs::ExperimentMain("fig05_hit_rates", argc, argv);
 }

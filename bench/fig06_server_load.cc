@@ -1,41 +1,8 @@
-// Figure 6: server load by algorithm, as a percentage of the baseline
-// no-cooperation load, segmented by request type (§4.1 load units: small
-// message 1, data transfer +2, disk transfer 2; local hits free).
-#include <cstdio>
-
-#include "bench/bench_common.h"
-#include "src/common/format.h"
+// Standalone wrapper for the 'fig06_server_load' experiment. The experiment body lives
+// in src/exp/specs/fig06_server_load.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter fig06_server_load`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace coopfs;
-
-  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
-  const Trace& trace = SpriteTrace(options);
-  const SimulationConfig config = PaperConfig(options, trace.size());
-  PrintBanner("Figure 6", "relative server load by algorithm", options, trace.size());
-
-  Simulator simulator(config, &trace);
-  std::vector<SimulationResult> results;
-  for (PolicyKind kind : Figure4PolicyKinds()) {
-    results.push_back(MustRun(simulator, kind));
-  }
-  const double base_units = static_cast<double>(results.front().server_load.TotalUnits());
-
-  TableFormatter table({"Algorithm", "Hit Server Mem", "Hit Remote Client", "Hit Disk",
-                        "Other Load", "Total"});
-  for (const SimulationResult& result : results) {
-    auto pct = [&](ServerLoadKind kind) {
-      return FormatPercent(static_cast<double>(result.server_load.Units(kind)) / base_units, 1);
-    };
-    table.AddRow({result.policy_name, pct(ServerLoadKind::kHitServerMemory),
-                  pct(ServerLoadKind::kHitRemoteClient), pct(ServerLoadKind::kHitDisk),
-                  pct(ServerLoadKind::kOther),
-                  FormatPercent(static_cast<double>(result.server_load.TotalUnits()) / base_units,
-                                1)});
-  }
-  std::printf("%s\n", table.ToString().c_str());
-  std::printf("paper reported: most algorithms at or below baseline load; Central somewhat "
-              "above it (every local miss goes through the server)\n");
-  MaybeWriteJson(options, config, results);
-  return 0;
+  return coopfs::ExperimentMain("fig06_server_load", argc, argv);
 }

@@ -1,42 +1,8 @@
-// Figure 9: Centrally Coordinated Caching response time vs. the fraction of
-// each client cache that is centrally coordinated. Paper: a response-time
-// plateau when 40-90% of client memory is coordinated; 0% = baseline.
-#include <algorithm>
-#include <cstdio>
-
-#include "bench/bench_common.h"
-#include "src/common/format.h"
-#include "src/core/central_coord.h"
+// Standalone wrapper for the 'fig09_central_fraction' experiment. The experiment body lives
+// in src/exp/specs/fig09_central_fraction.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter fig09_central_fraction`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace coopfs;
-
-  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
-  const Trace& trace = SpriteTrace(options);
-  const SimulationConfig config = PaperConfig(options, trace.size());
-  PrintBanner("Figure 9", "Central Coordination response vs. coordinated fraction", options,
-              trace.size());
-
-  Simulator simulator(config, &trace);
-  TableFormatter table({"Coordinated", "Avg read", "Disk time", "Other time", "Local hit"});
-  for (int percent = 0; percent <= 100; percent += 10) {
-    SimulationResult result;
-    if (percent == 0) {
-      result = MustRun(simulator, PolicyKind::kBaseline);
-    } else {
-      CentralCoordPolicy policy(percent / 100.0);
-      result = MustRun(simulator, policy);
-    }
-    const double reads = static_cast<double>(result.reads);
-    const double disk_time = result.level_time_us[3] / reads;
-    table.AddRow({std::to_string(percent) + "%",
-                  FormatDouble(result.AverageReadTime(), 0) + " us",
-                  FormatDouble(disk_time, 0) + " us",
-                  FormatDouble(result.AverageReadTime() - disk_time, 0) + " us",
-                  FormatPercent(result.LevelFraction(CacheLevel::kLocalMemory))});
-  }
-  std::printf("%s\n", table.ToString().c_str());
-  std::printf("paper reported: response-time plateau for 40-90%% coordinated; the study "
-              "uses 80%%\n");
-  return 0;
+  return coopfs::ExperimentMain("fig09_central_fraction", argc, argv);
 }

@@ -1,37 +1,8 @@
-// Figure 10: N-Chance response time vs. the recirculation count n.
-// Paper: the big win is n = 0 -> 1; n = 1 -> 2 adds a little; beyond that,
-// nothing. n = 0 is exactly Greedy Forwarding.
-#include <cstdio>
-
-#include "bench/bench_common.h"
-#include "src/common/format.h"
-#include "src/core/nchance.h"
+// Standalone wrapper for the 'fig10_nchance_n' experiment. The experiment body lives
+// in src/exp/specs/fig10_nchance_n.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter fig10_nchance_n`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace coopfs;
-
-  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
-  const Trace& trace = SpriteTrace(options);
-  const SimulationConfig config = PaperConfig(options, trace.size());
-  PrintBanner("Figure 10", "N-Chance response vs. recirculation count n", options, trace.size());
-
-  Simulator simulator(config, &trace);
-  const SimulationResult baseline = MustRun(simulator, PolicyKind::kBaseline);
-
-  TableFormatter table({"n", "Avg read", "Speedup", "Disk time", "Other time", "Disk rate"});
-  for (int n : {0, 1, 2, 3, 4, 6, 8}) {
-    NChancePolicy policy(n);
-    const SimulationResult result = MustRun(simulator, policy);
-    const double reads = static_cast<double>(result.reads);
-    const double disk_time = result.level_time_us[3] / reads;
-    table.AddRow({std::to_string(n), FormatDouble(result.AverageReadTime(), 0) + " us",
-                  FormatDouble(result.SpeedupOver(baseline), 2) + "x",
-                  FormatDouble(disk_time, 0) + " us",
-                  FormatDouble(result.AverageReadTime() - disk_time, 0) + " us",
-                  FormatPercent(result.DiskRate())});
-  }
-  std::printf("%s\n", table.ToString().c_str());
-  std::printf("paper reported: largest improvement 0->1; small gain 1->2; flat beyond "
-              "(the study uses n = 2)\n");
-  return 0;
+  return coopfs::ExperimentMain("fig10_nchance_n", argc, argv);
 }

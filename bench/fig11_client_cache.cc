@@ -1,55 +1,8 @@
-// Figure 11: response time vs. per-client cache size. Paper: the
-// coordinated algorithms do well once caches are reasonably large, but
-// coordinating tiny caches hurts (borrowed memory costs local hits without
-// cutting disk accesses); Greedy is solid across the range.
-//
-// The 30 (size x policy) simulations are independent; they run on a thread
-// pool (src/core/sweep.h).
-#include <cstdio>
-
-#include "bench/bench_common.h"
-#include "src/common/format.h"
-#include "src/core/sweep.h"
+// Standalone wrapper for the 'fig11_client_cache' experiment. The experiment body lives
+// in src/exp/specs/fig11_client_cache.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter fig11_client_cache`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace coopfs;
-
-  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
-  const Trace& trace = SpriteTrace(options);
-  PrintBanner("Figure 11", "response time vs. client cache size", options, trace.size());
-
-  const std::vector<PolicyKind> kinds = {PolicyKind::kBaseline, PolicyKind::kGreedy,
-                                         PolicyKind::kCentralCoord, PolicyKind::kNChance,
-                                         PolicyKind::kBestCase};
-  const std::vector<std::size_t> sizes = {2, 4, 8, 16, 32, 64};
-
-  std::vector<SimulationJob> jobs;
-  for (std::size_t mib : sizes) {
-    for (PolicyKind kind : kinds) {
-      SimulationJob job;
-      job.config = PaperConfig(options, trace.size());
-      job.config.WithClientCacheMiB(mib);
-      job.kind = kind;
-      jobs.push_back(job);
-    }
-  }
-  const auto results = RunSimulationsParallel(trace, jobs);
-
-  TableFormatter table({"Client cache", "Baseline", "Greedy", "Central", "N-Chance", "Best"});
-  std::size_t index = 0;
-  for (std::size_t mib : sizes) {
-    std::vector<std::string> row{std::to_string(mib) + " MB"};
-    for (std::size_t p = 0; p < kinds.size(); ++p, ++index) {
-      if (!results[index].ok()) {
-        std::fprintf(stderr, "run failed: %s\n", results[index].status().ToString().c_str());
-        return 1;
-      }
-      row.push_back(FormatDouble(results[index]->AverageReadTime(), 0) + " us");
-    }
-    table.AddRow(std::move(row));
-  }
-  std::printf("%s\n", table.ToString().c_str());
-  std::printf("paper reported: coordination pays off for reasonably large caches; tiny "
-              "caches gain little (or lose) from coordination. Default: 16 MB.\n");
-  return 0;
+  return coopfs::ExperimentMain("fig11_client_cache", argc, argv);
 }

@@ -1,55 +1,8 @@
-// Figure 12: response time vs. central server cache size. Paper: a bigger
-// server cache helps the baseline a lot and the cooperative algorithms only
-// modestly; cooperative caching stops paying once the server cache rivals
-// the aggregate client memory (42 x 16 MB = 672 MB) — but such a server
-// doubles the system's memory cost. Central Coordination suffers at very
-// large server caches because of its reduced local hit rate.
-#include <cstdio>
-
-#include "bench/bench_common.h"
-#include "src/common/format.h"
-#include "src/core/sweep.h"
+// Standalone wrapper for the 'fig12_server_cache' experiment. The experiment body lives
+// in src/exp/specs/fig12_server_cache.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter fig12_server_cache`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace coopfs;
-
-  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
-  const Trace& trace = SpriteTrace(options);
-  PrintBanner("Figure 12", "response time vs. server cache size", options, trace.size());
-
-  const std::vector<PolicyKind> kinds = {PolicyKind::kBaseline, PolicyKind::kGreedy,
-                                         PolicyKind::kCentralCoord, PolicyKind::kNChance,
-                                         PolicyKind::kBestCase};
-  const std::vector<std::size_t> sizes = {32, 64, 128, 256, 512, 768, 1024};
-
-  std::vector<SimulationJob> jobs;
-  for (std::size_t mib : sizes) {
-    for (PolicyKind kind : kinds) {
-      SimulationJob job;
-      job.config = PaperConfig(options, trace.size());
-      job.config.WithServerCacheMiB(mib);
-      job.kind = kind;
-      jobs.push_back(job);
-    }
-  }
-  const auto results = RunSimulationsParallel(trace, jobs);
-
-  TableFormatter table({"Server cache", "Baseline", "Greedy", "Central", "N-Chance", "Best"});
-  std::size_t index = 0;
-  for (std::size_t mib : sizes) {
-    std::vector<std::string> row{std::to_string(mib) + " MB"};
-    for (std::size_t p = 0; p < kinds.size(); ++p, ++index) {
-      if (!results[index].ok()) {
-        std::fprintf(stderr, "run failed: %s\n", results[index].status().ToString().c_str());
-        return 1;
-      }
-      row.push_back(FormatDouble(results[index]->AverageReadTime(), 0) + " us");
-    }
-    table.AddRow(std::move(row));
-  }
-  std::printf("%s\n", table.ToString().c_str());
-  std::printf("paper reported: baseline improves sharply with server cache; cooperative "
-              "algorithms only modestly; benefit vanishes near aggregate client memory "
-              "(672 MB). Default: 128 MB.\n");
-  return 0;
+  return coopfs::ExperimentMain("fig12_server_cache", argc, argv);
 }

@@ -1,66 +1,8 @@
-// Figure 13: response time vs. network speed (x = round trip to request and
-// receive an 8 KB block, excluding memory copy; disk and memory times held
-// constant). Paper: at Ethernet speeds (~10 ms) the best cooperative
-// speedup is ~20%; at 1 ms it reaches ~70%; below ~100 us the network no
-// longer matters. N-Chance tracks the best case across the whole range,
-// while Central Coordination decays on slow networks.
-#include <algorithm>
-#include <cstdio>
-
-#include "bench/bench_common.h"
-#include "src/common/format.h"
-#include "src/core/sweep.h"
+// Standalone wrapper for the 'fig13_network_speed' experiment. The experiment body lives
+// in src/exp/specs/fig13_network_speed.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter fig13_network_speed`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace coopfs;
-
-  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
-  const Trace& trace = SpriteTrace(options);
-  PrintBanner("Figure 13", "response time vs. network block round-trip time", options,
-              trace.size());
-
-  const std::vector<PolicyKind> kinds = {PolicyKind::kBaseline, PolicyKind::kGreedy,
-                                         PolicyKind::kCentralCoord, PolicyKind::kNChance,
-                                         PolicyKind::kBestCase};
-  const std::vector<Micros> round_trips = {100, 200, 400, 800, 1600, 3200, 6400, 9600};
-
-  std::vector<SimulationJob> jobs;
-  for (Micros round_trip : round_trips) {
-    for (PolicyKind kind : kinds) {
-      SimulationJob job;
-      job.config = PaperConfig(options, trace.size());
-      job.config.network = NetworkModel::Atm155().WithRoundTrip(round_trip);
-      job.kind = kind;
-      jobs.push_back(job);
-    }
-  }
-  const auto results = RunSimulationsParallel(trace, jobs);
-
-  TableFormatter table({"Round trip", "Baseline", "Greedy", "Central", "N-Chance", "Best",
-                        "Best speedup"});
-  std::size_t index = 0;
-  for (Micros round_trip : round_trips) {
-    std::vector<std::string> row{std::to_string(round_trip) + " us"};
-    double base_time = 0.0;
-    double best_time = 1e18;
-    for (std::size_t p = 0; p < kinds.size(); ++p, ++index) {
-      if (!results[index].ok()) {
-        std::fprintf(stderr, "run failed: %s\n", results[index].status().ToString().c_str());
-        return 1;
-      }
-      const double avg = results[index]->AverageReadTime();
-      if (kinds[p] == PolicyKind::kBaseline) {
-        base_time = avg;
-      }
-      best_time = std::min(best_time, avg);
-      row.push_back(FormatDouble(avg, 0) + " us");
-    }
-    row.push_back(FormatDouble(base_time / best_time, 2) + "x");
-    table.AddRow(std::move(row));
-  }
-  std::printf("%s\n", table.ToString().c_str());
-  std::printf("paper reported: ~20%% peak speedup at Ethernet speed (~10 ms), ~70%% at 1 ms, "
-              "flat below ~100 us; N-Chance tracks the best case throughout. "
-              "Default: 800 us.\n");
-  return 0;
+  return coopfs::ExperimentMain("fig13_network_speed", argc, argv);
 }

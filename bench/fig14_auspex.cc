@@ -1,53 +1,8 @@
-// Figure 14: response times under the Berkeley Auspex workload (237 NFS
-// clients, snooped trace missing local hits). The simulation runs on the
-// visible events; Smith's stack deletion then adds the inferred local hits
-// for an assumed hidden local hit rate (80% default; footnote 4 sweeps 70%
-// and 90%). Paper: same algorithm ranking as Sprite; N-Chance speedup 2.00
-// at 80% (2.20 at 70%, 1.67 at 90%).
-#include <cstdio>
-
-#include "bench/bench_common.h"
-#include "src/common/format.h"
+// Standalone wrapper for the 'fig14_auspex' experiment. The experiment body lives
+// in src/exp/specs/fig14_auspex.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter fig14_auspex`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace coopfs;
-
-  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
-  const Trace& trace = AuspexTrace(options);
-
-  SimulationConfig config;
-  config.WithClientCacheMiB(16).WithServerCacheMiB(128);
-  config.warmup_events = trace.size() / 5;  // Paper: 1M of 5M events.
-  config.seed = options.seed;
-
-  std::printf("=== Figure 14: Berkeley Auspex workload (snooped NFS trace) ===\n");
-  std::printf("workload: %zu visible events, 237 clients, warm-up %llu events\n\n", trace.size(),
-              static_cast<unsigned long long>(config.warmup_events));
-
-  Simulator simulator(config, &trace);
-  std::vector<SimulationResult> raw;
-  for (PolicyKind kind : Figure4PolicyKinds()) {
-    raw.push_back(MustRun(simulator, kind));
-  }
-
-  const double local_us = static_cast<double>(config.network.memory_copy);
-  for (const double hidden_rate : {0.8, 0.7, 0.9}) {
-    std::vector<SimulationResult> adjusted;
-    adjusted.reserve(raw.size());
-    for (const SimulationResult& result : raw) {
-      adjusted.push_back(ApplyStackDeletion(result, hidden_rate, local_us));
-    }
-    const SimulationResult& baseline = adjusted.front();
-    std::printf("--- assumed hidden local hit rate: %s ---\n",
-                FormatPercent(hidden_rate, 0).c_str());
-    TableFormatter table({"Algorithm", "Avg read", "Speedup", "Local", "Remote", "ServerMem",
-                          "Disk"});
-    for (const SimulationResult& result : adjusted) {
-      table.AddRow(ResultRow(result, baseline));
-    }
-    std::printf("%s\n", table.ToString().c_str());
-  }
-  std::printf("paper reported (80%% hidden rate): same ranking as Sprite; N-Chance speedup "
-              "2.00 (2.20 at 70%%, 1.67 at 90%%)\n");
-  return 0;
+  return coopfs::ExperimentMain("fig14_auspex", argc, argv);
 }

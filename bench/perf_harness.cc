@@ -50,21 +50,47 @@
 #include <thread>
 #include <vector>
 
-#include "bench/bench_common.h"
 #include "src/common/flat_hash_map.h"
 #include "src/common/format.h"
 #include "src/common/profiler.h"
+#include "src/core/policy_factory.h"
 #include "src/core/sweep.h"
+#include "src/exp/options.h"
+#include "src/exp/trace_pool.h"
 #include "src/obs/bench_report.h"
 #include "src/obs/snapshot_sampler.h"
 #include "src/obs/trace_recorder.h"
 #include "src/obs/trace_sink.h"
+#include "src/trace/workload.h"
 
 namespace coopfs {
 namespace {
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Paper §4.1 defaults, as in ExperimentContext::PaperConfig but without the
+// observability plumbing (this harness attaches its own sinks explicitly).
+SimulationConfig HarnessConfig(const BenchOptions& options, std::uint64_t trace_events) {
+  SimulationConfig config;
+  config.WithClientCacheMiB(16).WithServerCacheMiB(128);
+  config.warmup_events = options.WarmupFor(trace_events);
+  config.seed = options.seed;
+  return config;
+}
+
+// Runs one policy, aborting the process with a message on failure: a harness
+// replay that cannot run has no baseline to report.
+SimulationResult MustRun(Simulator& simulator, PolicyKind kind) {
+  const auto policy = MakePolicy(kind, PolicyParams{});
+  Result<SimulationResult> result = simulator.Run(*policy);
+  if (!result.ok()) {
+    std::fprintf(stderr, "perf_harness: %s failed: %s\n", policy->Name().c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(result);
 }
 
 BenchSeries MakeSeries(const std::string& name, std::uint64_t items, double seconds) {
@@ -182,7 +208,7 @@ int Run(int argc, char** argv) {
 
   // The replay series share one memoized trace; generate it before timing.
   const Trace& trace = SpriteTrace(options);
-  const SimulationConfig config = PaperConfig(options, trace.size());
+  const SimulationConfig config = HarnessConfig(options, trace.size());
 
   // 2. Serial replay throughput per policy (events replayed per second).
   for (const ReplayCase& replay : kReplayCases) {

@@ -1,38 +1,8 @@
-// §2.5: the two algorithms whose results the paper omits. Hash-Distributed
-// Caching should match Centrally Coordinated hit rates with much lower
-// server load; Weighted LRU should perform like N-Chance but with extra
-// global-state query load.
-#include <cstdio>
-
-#include "bench/bench_common.h"
-#include "src/common/format.h"
+// Standalone wrapper for the 'sec25_other_algorithms' experiment. The experiment body lives
+// in src/exp/specs/sec25_other_algorithms.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter sec25_other_algorithms`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace coopfs;
-
-  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
-  const Trace& trace = SpriteTrace(options);
-  const SimulationConfig config = PaperConfig(options, trace.size());
-  PrintBanner("Section 2.5", "Hash-Distributed and Weighted-LRU (results omitted in paper)",
-              options, trace.size());
-
-  Simulator simulator(config, &trace);
-  const SimulationResult baseline = MustRun(simulator, PolicyKind::kBaseline);
-  const std::vector<PolicyKind> kinds = {PolicyKind::kCentralCoord,
-                                         PolicyKind::kHashDistributed, PolicyKind::kNChance,
-                                         PolicyKind::kWeightedLru};
-
-  TableFormatter table({"Algorithm", "Avg read", "Speedup", "Local", "Remote", "ServerMem",
-                        "Disk", "Rel. server load"});
-  for (PolicyKind kind : kinds) {
-    const SimulationResult result = MustRun(simulator, kind);
-    std::vector<std::string> row = ResultRow(result, baseline);
-    row.push_back(FormatPercent(result.RelativeServerLoad(baseline), 0));
-    table.AddRow(std::move(row));
-  }
-  std::printf("%s\n", table.ToString().c_str());
-  std::printf("paper reported: Hash-Distributed ~= Central hit rates with significantly lower "
-              "server load; Weighted LRU ~= N-Chance response time but more complex and "
-              "heavier on the server\n");
-  return 0;
+  return coopfs::ExperimentMain("sec25_other_algorithms", argc, argv);
 }

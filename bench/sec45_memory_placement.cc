@@ -1,95 +1,8 @@
-// §4.5 ablation: cooperative caching vs. physically moving client memory to
-// the server. Moving 80% of each client's cache into the central server is
-// simulated as the baseline algorithm with 3.2 MB clients and a server
-// cache enlarged by 42 x 12.8 MB. Paper: +66% over the standard layout on
-// Sprite (+93% on Auspex), short of N-Chance — and with a ~50% higher
-// server read load than N-Chance.
-#include <cstdio>
-
-#include "bench/bench_common.h"
-#include "src/common/format.h"
+// Standalone wrapper for the 'sec45_memory_placement' experiment. The experiment body lives
+// in src/exp/specs/sec45_memory_placement.cc; run it here or via the coopfs_bench driver
+// (`coopfs_bench --filter sec45_memory_placement`) — the output bytes are identical.
+#include "src/exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace coopfs;
-
-  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
-  const Trace& trace = SpriteTrace(options);
-  const SimulationConfig config = PaperConfig(options, trace.size());
-  PrintBanner("Section 4.5", "moving memory to the server vs. cooperative caching", options,
-              trace.size());
-
-  Simulator standard(config, &trace);
-  const SimulationResult baseline = MustRun(standard, PolicyKind::kBaseline);
-  const SimulationResult nchance = MustRun(standard, PolicyKind::kNChance);
-
-  // Physically moved memory: clients keep 20% (3.2 MB); the server gains
-  // the other 80% of all 42 clients (537.6 MB -> 665.6 MB total).
-  SimulationConfig moved = config;
-  const std::size_t moved_per_client = BytesToBlocks(MiB(16)) * 8 / 10;
-  moved.client_cache_blocks = BytesToBlocks(MiB(16)) - moved_per_client;
-  moved.server_cache_blocks =
-      BytesToBlocks(MiB(128)) + moved_per_client * standard.num_clients();
-  Simulator moved_sim(moved, &trace);
-  const SimulationResult moved_result = MustRun(moved_sim, PolicyKind::kBaseline);
-
-  TableFormatter table({"Configuration", "Avg read", "Improvement vs standard", "Local hit",
-                        "Disk rate", "Server read load"});
-  auto load_units = [](const SimulationResult& result) {
-    return result.server_load.TotalUnits();
-  };
-  auto row = [&](const char* name, const SimulationResult& result) {
-    table.AddRow({name, FormatDouble(result.AverageReadTime(), 0) + " us",
-                  FormatPercent(result.SpeedupOver(baseline) - 1.0, 0),
-                  FormatPercent(result.LevelFraction(CacheLevel::kLocalMemory)),
-                  FormatPercent(result.DiskRate()),
-                  std::to_string(load_units(result)) + " units"});
-  };
-  row("Standard layout (16 MB clients, 128 MB server)", baseline);
-  row("80% of client memory moved to server", moved_result);
-  row("N-Chance Forwarding (n=2)", nchance);
-  std::printf("%s\n", table.ToString().c_str());
-
-  const double load_ratio = static_cast<double>(load_units(moved_result)) /
-                            static_cast<double>(load_units(nchance));
-  std::printf("moved-memory server read load = %s of N-Chance's\n",
-              FormatPercent(load_ratio, 0).c_str());
-  std::printf("paper reported: moving memory gains +66%% (Sprite) but trails N-Chance, with "
-              "~150%% of N-Chance's read load\n\n");
-
-  // The paper's second data point: the same comparison under the Auspex
-  // workload (+93% for moved memory there), with stack deletion at the 80%
-  // assumed hidden local hit rate as in Figure 14.
-  const Trace& auspex = AuspexTrace(options);
-  SimulationConfig aus_config;
-  aus_config.WithClientCacheMiB(16).WithServerCacheMiB(128);
-  aus_config.warmup_events = auspex.size() / 5;
-  aus_config.seed = options.seed;
-  Simulator aus_standard(aus_config, &auspex);
-  SimulationConfig aus_moved = aus_config;
-  aus_moved.client_cache_blocks = BytesToBlocks(MiB(16)) - moved_per_client;
-  aus_moved.server_cache_blocks =
-      BytesToBlocks(MiB(128)) + moved_per_client * aus_standard.num_clients();
-  Simulator aus_moved_sim(aus_moved, &auspex);
-
-  const double local_us = static_cast<double>(aus_config.network.memory_copy);
-  const SimulationResult aus_base =
-      ApplyStackDeletion(MustRun(aus_standard, PolicyKind::kBaseline), 0.8, local_us);
-  const SimulationResult aus_nchance =
-      ApplyStackDeletion(MustRun(aus_standard, PolicyKind::kNChance), 0.8, local_us);
-  const SimulationResult aus_moved_result =
-      ApplyStackDeletion(MustRun(aus_moved_sim, PolicyKind::kBaseline), 0.8, local_us);
-
-  std::printf("Auspex workload (237 clients, stack deletion @ 80%% hidden hit rate):\n");
-  TableFormatter aus_table({"Configuration", "Avg read", "Improvement vs standard"});
-  aus_table.AddRow({"Standard layout", FormatDouble(aus_base.AverageReadTime(), 0) + " us",
-                    "0%"});
-  aus_table.AddRow({"80% of client memory moved to server",
-                    FormatDouble(aus_moved_result.AverageReadTime(), 0) + " us",
-                    FormatPercent(aus_moved_result.SpeedupOver(aus_base) - 1.0, 0)});
-  aus_table.AddRow({"N-Chance Forwarding (n=2)",
-                    FormatDouble(aus_nchance.AverageReadTime(), 0) + " us",
-                    FormatPercent(aus_nchance.SpeedupOver(aus_base) - 1.0, 0)});
-  std::printf("%s\n", aus_table.ToString().c_str());
-  std::printf("paper reported: +93%% for moved memory on Auspex, still short of N-Chance\n");
-  return 0;
+  return coopfs::ExperimentMain("sec45_memory_placement", argc, argv);
 }

@@ -31,6 +31,7 @@
 #include "src/obs/trace_sink.h"
 #include "src/sim/simulator.h"
 #include "src/trace/trace_stats.h"
+#include "src/trace/warmup.h"
 #include "src/trace/workload.h"
 
 namespace {
@@ -71,7 +72,7 @@ int main(int argc, char** argv) {
   SimulationConfig config;
   config.WithClientCacheMiB(FlagValue(argc, argv, "--client-mb", 16));
   config.WithServerCacheMiB(FlagValue(argc, argv, "--server-mb", 128));
-  config.warmup_events = workload.num_events * 4 / 7;  // Paper: 400k of 700k.
+  config.warmup_events = SpriteWarmupEvents(workload.num_events);  // Paper: 400k of 700k.
 
   const std::string trace_events_out = StringFlag(argc, argv, "--trace-events");
   const std::string trace_perfetto_out = StringFlag(argc, argv, "--trace-perfetto");

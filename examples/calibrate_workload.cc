@@ -17,6 +17,7 @@
 #include "src/core/sweep.h"
 #include "src/sim/simulator.h"
 #include "src/trace/trace_stats.h"
+#include "src/trace/warmup.h"
 #include "src/trace/workload.h"
 
 namespace {
@@ -43,7 +44,7 @@ int main(int argc, char** argv) {
   const TraceStats stats = ComputeTraceStats(trace);
 
   SimulationConfig config;
-  config.warmup_events = workload.num_events * 4 / 7;
+  config.warmup_events = SpriteWarmupEvents(workload.num_events);
 
   std::vector<SimulationJob> jobs;
   for (PolicyKind kind :

@@ -15,6 +15,7 @@
 #include "src/common/format.h"
 #include "src/core/policy_factory.h"
 #include "src/sim/simulator.h"
+#include "src/trace/warmup.h"
 #include "src/trace/workload.h"
 
 namespace {
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
   const auto run = [&trace](std::size_t client_mib, std::size_t server_mib, PolicyKind kind) {
     SimulationConfig config;
     config.WithClientCacheMiB(client_mib).WithServerCacheMiB(server_mib);
-    config.warmup_events = trace.size() * 4 / 7;
+    config.warmup_events = SpriteWarmupEvents(trace.size());
     Simulator simulator(config, &trace);
     auto policy = MakePolicy(kind);
     Result<SimulationResult> result = simulator.Run(*policy);

@@ -19,6 +19,7 @@
 #include "src/core/policy_factory.h"
 #include "src/obs/snapshot_sampler.h"
 #include "src/sim/simulator.h"
+#include "src/trace/warmup.h"
 #include "src/trace/workload.h"
 
 namespace {
@@ -56,7 +57,7 @@ int main(int argc, char** argv) {
 
   SnapshotSampler sampler;
   SimulationConfig config;
-  config.warmup_events = workload.num_events * 4 / 7;
+  config.warmup_events = SpriteWarmupEvents(workload.num_events);
   config.snapshot_sampler = &sampler;
   config.sample_interval = 4LL * 3600 * 1'000'000;  // 4 simulated hours.
 

@@ -27,6 +27,7 @@
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_stats.h"
 #include "src/trace/trace_transform.h"
+#include "src/trace/warmup.h"
 #include "src/trace/workload.h"
 
 namespace {
@@ -139,7 +140,7 @@ int Simulate(int argc, char** argv) {
   SimulationConfig config;
   config.WithClientCacheMiB(argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 16);
   config.WithServerCacheMiB(argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 128);
-  config.warmup_events = trace->size() * 4 / 7;
+  config.warmup_events = SpriteWarmupEvents(trace->size());
 
   Simulator simulator(config, &*trace);
   auto policy = MakePolicy(*kind);

@@ -1,12 +1,14 @@
 #include "src/core/sweep.h"
 
 #include <atomic>
+#include <mutex>
 #include <thread>
 
 namespace coopfs {
 
 std::vector<Result<SimulationResult>> RunSimulationsParallel(
-    const Trace& trace, const std::vector<SimulationJob>& jobs, std::size_t threads) {
+    const Trace& trace, const std::vector<SimulationJob>& jobs, std::size_t threads,
+    const SweepCallback& on_job_done) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -22,11 +24,15 @@ std::vector<Result<SimulationResult>> RunSimulationsParallel(
       Simulator simulator(jobs[i].config, &trace);
       auto policy = MakePolicy(jobs[i].kind, jobs[i].params);
       results[i] = simulator.Run(*policy);
+      if (on_job_done) {
+        on_job_done(i, results[i]);
+      }
     }
     return results;
   }
 
   std::atomic<std::size_t> next{0};
+  std::mutex callback_mutex;
   auto worker = [&] {
     while (true) {
       const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
@@ -36,6 +42,10 @@ std::vector<Result<SimulationResult>> RunSimulationsParallel(
       Simulator simulator(jobs[index].config, &trace);
       auto policy = MakePolicy(jobs[index].kind, jobs[index].params);
       results[index] = simulator.Run(*policy);
+      if (on_job_done) {
+        std::lock_guard<std::mutex> lock(callback_mutex);
+        on_job_done(index, results[index]);
+      }
     }
   };
   std::vector<std::thread> pool;

@@ -10,6 +10,7 @@
 #define COOPFS_SRC_CORE_SWEEP_H_
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "src/core/policy_factory.h"
@@ -24,12 +25,19 @@ struct SimulationJob {
   PolicyParams params;
 };
 
+// Invoked once per completed job with its input index and result (which may
+// carry an error Status). Invocations are serialized under an internal mutex
+// — callbacks may print or mutate shared state without further locking —
+// but arrive in completion order, not job order.
+using SweepCallback = std::function<void(std::size_t job_index, const Result<SimulationResult>&)>;
+
 // Runs all jobs against `trace` using up to `threads` worker threads
 // (0 = hardware concurrency). Results are returned in job order; a failed
-// run carries its error Status.
-std::vector<Result<SimulationResult>> RunSimulationsParallel(const Trace& trace,
-                                                             const std::vector<SimulationJob>& jobs,
-                                                             std::size_t threads = 0);
+// run carries its error Status. `on_job_done`, when set, fires after each
+// job finishes (driver progress lines).
+std::vector<Result<SimulationResult>> RunSimulationsParallel(
+    const Trace& trace, const std::vector<SimulationJob>& jobs, std::size_t threads = 0,
+    const SweepCallback& on_job_done = nullptr);
 
 }  // namespace coopfs
 

@@ -1,0 +1,145 @@
+#include "src/exp/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace coopfs {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kNone:
+      return "none";
+    case TraceKind::kSprite:
+      return "sprite";
+    case TraceKind::kAuspex:
+      return "auspex";
+    case TraceKind::kBoth:
+      return "sprite+auspex";
+    case TraceKind::kCustom:
+      return "custom";
+  }
+  return "unknown";
+}
+
+ExperimentRegistry& ExperimentRegistry::Instance() {
+  static auto* registry = new ExperimentRegistry();
+  return *registry;
+}
+
+void ExperimentRegistry::Register(ExperimentSpec spec) {
+  if (spec.name.empty() || !spec.run) {
+    std::fprintf(stderr, "experiment spec '%s' is incomplete (missing name or run function)\n",
+                 spec.name.c_str());
+    std::abort();
+  }
+  if (Find(spec.name) != nullptr) {
+    std::fprintf(stderr, "duplicate experiment spec '%s'\n", spec.name.c_str());
+    std::abort();
+  }
+  specs_.push_back(std::move(spec));
+}
+
+const ExperimentSpec* ExperimentRegistry::Find(std::string_view name) const {
+  for (const ExperimentSpec& spec : specs_) {
+    if (spec.name == name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const ExperimentSpec*> ExperimentRegistry::Match(std::string_view glob) const {
+  std::vector<const ExperimentSpec*> matches;
+  for (const ExperimentSpec& spec : specs_) {
+    if (GlobMatch(glob, spec.name)) {
+      matches.push_back(&spec);
+    }
+  }
+  return matches;
+}
+
+namespace {
+
+// Matches one '[...]' class starting at pattern[0] == '['. On success sets
+// `consumed` to the class length (including brackets) and returns whether
+// `c` is in the class. A malformed class (no closing ']') matches nothing.
+bool MatchClass(std::string_view pattern, char c, std::size_t* consumed) {
+  std::size_t i = 1;  // past '['
+  bool negate = false;
+  if (i < pattern.size() && (pattern[i] == '!' || pattern[i] == '^')) {
+    negate = true;
+    ++i;
+  }
+  bool matched = false;
+  bool first = true;
+  while (i < pattern.size() && (first || pattern[i] != ']')) {
+    first = false;
+    char lo = pattern[i];
+    char hi = lo;
+    if (i + 2 < pattern.size() && pattern[i + 1] == '-' && pattern[i + 2] != ']') {
+      hi = pattern[i + 2];
+      i += 3;
+    } else {
+      ++i;
+    }
+    if (lo <= c && c <= hi) {
+      matched = true;
+    }
+  }
+  if (i >= pattern.size()) {
+    return false;  // unterminated class
+  }
+  *consumed = i + 1;  // past ']'
+  return matched != negate;
+}
+
+}  // namespace
+
+bool GlobMatch(std::string_view pattern, std::string_view text) {
+  // Iterative matcher with single-star backtracking (the classic greedy
+  // algorithm): remember the position of the last '*' and retry from there,
+  // consuming one more text character each time.
+  std::size_t p = 0;
+  std::size_t t = 0;
+  std::size_t star_p = std::string_view::npos;
+  std::size_t star_t = 0;
+  while (t < text.size()) {
+    bool advanced = false;
+    if (p < pattern.size()) {
+      if (pattern[p] == '*') {
+        star_p = p++;
+        star_t = t;
+        continue;
+      }
+      if (pattern[p] == '?') {
+        ++p;
+        ++t;
+        advanced = true;
+      } else if (pattern[p] == '[') {
+        std::size_t consumed = 0;
+        if (MatchClass(pattern.substr(p), text[t], &consumed)) {
+          p += consumed;
+          ++t;
+          advanced = true;
+        }
+      } else if (pattern[p] == text[t]) {
+        ++p;
+        ++t;
+        advanced = true;
+      }
+    }
+    if (!advanced) {
+      if (star_p == std::string_view::npos) {
+        return false;
+      }
+      p = star_p + 1;
+      t = ++star_t;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+}  // namespace coopfs

@@ -1,0 +1,46 @@
+#include "src/exp/options.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/profiler.h"
+
+namespace coopfs {
+
+BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--events") == 0) {
+      options.events = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      options.seed = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--auspex-events") == 0) {
+      options.auspex_events = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      options.json_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--trace-events") == 0) {
+      options.trace_events_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--trace-perfetto") == 0) {
+      options.trace_perfetto_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--timeseries") == 0) {
+      options.timeseries_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--sample-interval") == 0) {
+      options.sample_interval = static_cast<Micros>(std::strtoll(argv[i + 1], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      options.profile_out = argv[i + 1];
+    }
+  }
+  if (!options.profile_out.empty()) {
+    Profiler::Enable(true);
+  }
+  // Environment override so `for b in bench/*; do $b; done` can be scaled.
+  if (const char* env = std::getenv("COOPFS_BENCH_EVENTS"); env != nullptr) {
+    options.events = std::strtoull(env, nullptr, 10);
+  }
+  if (const char* env = std::getenv("COOPFS_BENCH_AUSPEX_EVENTS"); env != nullptr) {
+    options.auspex_events = std::strtoull(env, nullptr, 10);
+  }
+  return options;
+}
+
+}  // namespace coopfs

@@ -1,0 +1,36 @@
+#include "src/exp/experiment.h"
+#include "src/exp/specs.h"
+
+namespace coopfs {
+
+// Explicit registration (not static initializers, which static libraries
+// drop): every entry point calls this before touching the registry.
+void RegisterBuiltinExperiments() {
+  static const bool registered = [] {
+    ExperimentRegistry& registry = ExperimentRegistry::Instance();
+    registry.Register(Fig01TechnologyTableSpec());
+    registry.Register(Fig03AccessTimesSpec());
+    registry.Register(Fig04ReadTimeSpec());
+    registry.Register(Fig05HitRatesSpec());
+    registry.Register(Fig06ServerLoadSpec());
+    registry.Register(Fig07FairnessSpec());
+    registry.Register(Fig08DirectSweepSpec());
+    registry.Register(Fig09CentralFractionSpec());
+    registry.Register(Fig10NChanceNSpec());
+    registry.Register(Fig11ClientCacheSpec());
+    registry.Register(Fig12ServerCacheSpec());
+    registry.Register(Fig13NetworkSpeedSpec());
+    registry.Register(Fig14AuspexSpec());
+    registry.Register(Sec25OtherAlgorithmsSpec());
+    registry.Register(Sec45MemoryPlacementSpec());
+    registry.Register(ExtChurnSpec());
+    registry.Register(ExtIdleTargetingSpec());
+    registry.Register(ExtMultiServerSpec());
+    registry.Register(ExtQueueingSpec());
+    registry.Register(ExtWritePolicySpec());
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace coopfs

@@ -1,0 +1,35 @@
+// Factory functions for the built-in experiment specs (src/exp/specs/*.cc),
+// one per figure/section/extension of the paper reproduction. Collected into
+// the process-wide registry by RegisterBuiltinExperiments() in figure order —
+// the canonical order for --list and multi-experiment output.
+#ifndef COOPFS_SRC_EXP_SPECS_H_
+#define COOPFS_SRC_EXP_SPECS_H_
+
+#include "src/exp/experiment.h"
+
+namespace coopfs {
+
+ExperimentSpec Fig01TechnologyTableSpec();
+ExperimentSpec Fig03AccessTimesSpec();
+ExperimentSpec Fig04ReadTimeSpec();
+ExperimentSpec Fig05HitRatesSpec();
+ExperimentSpec Fig06ServerLoadSpec();
+ExperimentSpec Fig07FairnessSpec();
+ExperimentSpec Fig08DirectSweepSpec();
+ExperimentSpec Fig09CentralFractionSpec();
+ExperimentSpec Fig10NChanceNSpec();
+ExperimentSpec Fig11ClientCacheSpec();
+ExperimentSpec Fig12ServerCacheSpec();
+ExperimentSpec Fig13NetworkSpeedSpec();
+ExperimentSpec Fig14AuspexSpec();
+ExperimentSpec Sec25OtherAlgorithmsSpec();
+ExperimentSpec Sec45MemoryPlacementSpec();
+ExperimentSpec ExtChurnSpec();
+ExperimentSpec ExtIdleTargetingSpec();
+ExperimentSpec ExtMultiServerSpec();
+ExperimentSpec ExtQueueingSpec();
+ExperimentSpec ExtWritePolicySpec();
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_EXP_SPECS_H_

@@ -1,0 +1,67 @@
+// Figure 14: response times under the Berkeley Auspex workload (237 NFS
+// clients, snooped trace missing local hits). The simulation runs on the
+// visible events; Smith's stack deletion then adds the inferred local hits
+// for an assumed hidden local hit rate (80% default; footnote 4 sweeps 70%
+// and 90%). Paper: same algorithm ranking as Sprite; N-Chance speedup 2.00
+// at 80% (2.20 at 70%, 1.67 at 90%).
+#include "src/common/format.h"
+#include "src/exp/context.h"
+#include "src/exp/specs.h"
+
+namespace coopfs {
+
+namespace {
+
+Status Run(ExperimentContext& ctx) {
+  const Trace& trace = ctx.Auspex();
+  const SimulationConfig config = ctx.AuspexConfig(trace.size());  // Paper: 1M of 5M warm-up.
+
+  ctx.Printf("=== Figure 14: Berkeley Auspex workload (snooped NFS trace) ===\n");
+  ctx.Printf("workload: %zu visible events, 237 clients, warm-up %llu events\n\n", trace.size(),
+             static_cast<unsigned long long>(config.warmup_events));
+
+  Simulator simulator(config, &trace);
+  std::vector<SimulationResult> raw;
+  for (PolicyKind kind : Figure4PolicyKinds()) {
+    raw.emplace_back();
+    COOPFS_RETURN_IF_ERROR(ctx.Run(simulator, kind, &raw.back()));
+  }
+
+  const double local_us = static_cast<double>(config.network.memory_copy);
+  for (const double hidden_rate : {0.8, 0.7, 0.9}) {
+    std::vector<SimulationResult> adjusted;
+    adjusted.reserve(raw.size());
+    for (const SimulationResult& result : raw) {
+      adjusted.push_back(ApplyStackDeletion(result, hidden_rate, local_us));
+    }
+    const SimulationResult& baseline = adjusted.front();
+    ctx.Printf("--- assumed hidden local hit rate: %s ---\n",
+               FormatPercent(hidden_rate, 0).c_str());
+    TableFormatter table({"Algorithm", "Avg read", "Speedup", "Local", "Remote", "ServerMem",
+                          "Disk"});
+    for (const SimulationResult& result : adjusted) {
+      table.AddRow(ResultRow(result, baseline));
+    }
+    ctx.Printf("%s\n", table.ToString().c_str());
+  }
+  ctx.Printf("paper reported (80%% hidden rate): same ranking as Sprite; N-Chance speedup "
+             "2.00 (2.20 at 70%%, 1.67 at 90%%)\n");
+  return ctx.Finish(config, raw);
+}
+
+}  // namespace
+
+ExperimentSpec Fig14AuspexSpec() {
+  ExperimentSpec spec;
+  spec.name = "fig14_auspex";
+  spec.title = "Figure 14";
+  spec.what = "Berkeley Auspex workload (snooped NFS trace)";
+  spec.description = "Auspex workload response times with stack deletion";
+  spec.paper_note = "paper reported (80% hidden rate): same ranking as Sprite; N-Chance "
+                    "speedup 2.00 (2.20 at 70%, 1.67 at 90%)";
+  spec.trace = TraceKind::kAuspex;
+  spec.run = Run;
+  return spec;
+}
+
+}  // namespace coopfs

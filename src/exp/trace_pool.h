@@ -1,0 +1,30 @@
+// Process-wide, thread-safe memoization of the synthetic workload traces.
+//
+// Traces are the expensive shared input of every experiment: the Sprite-like
+// trace is 700k events, the Auspex-like one 5M. Each (kind, seed, events)
+// combination is generated exactly once and shared read-only afterwards —
+// including across experiments running concurrently on the driver's thread
+// pool, which is what makes `coopfs_bench --threads N` safe: generation is
+// serialized per kind, and a returned Trace& is immutable and stable for the
+// life of the process.
+#ifndef COOPFS_SRC_EXP_TRACE_POOL_H_
+#define COOPFS_SRC_EXP_TRACE_POOL_H_
+
+#include <cstdint>
+
+#include "src/exp/options.h"
+#include "src/trace/event.h"
+
+namespace coopfs {
+
+// Generates (and memoizes) the Sprite-like trace for (seed, events). Prints
+// a one-line progress note to stderr on first generation.
+const Trace& SpriteTrace(const BenchOptions& options);
+
+// Generates (and memoizes) the Auspex-like snooped trace (237 clients; §4.4)
+// for (seed, auspex_events).
+const Trace& AuspexTrace(const BenchOptions& options);
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_EXP_TRACE_POOL_H_

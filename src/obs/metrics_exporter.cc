@@ -22,7 +22,9 @@ constexpr const char* kLoadFields[kNumServerLoadKinds] = {
     "other",
 };
 
-void WriteConfig(JsonWriter& json, const SimulationConfig& config) {
+}  // namespace
+
+void WriteSimulationConfigJson(JsonWriter& json, const SimulationConfig& config) {
   json.BeginObject();
   json.Key("client_cache_blocks").Value(static_cast<std::uint64_t>(config.client_cache_blocks));
   json.Key("server_cache_blocks").Value(static_cast<std::uint64_t>(config.server_cache_blocks));
@@ -42,6 +44,8 @@ void WriteConfig(JsonWriter& json, const SimulationConfig& config) {
   json.Key("disk_access_us").Value(static_cast<std::int64_t>(config.disk.access_time));
   json.EndObject();
 }
+
+namespace {
 
 void WriteResult(JsonWriter& json, const SimulationResult& result,
                  const MetricsExportOptions& options) {
@@ -154,7 +158,7 @@ std::string MetricsExporter::ToJson() const {
   json.Key("coopfs_version").Value(kVersionString);
   if (have_config_) {
     json.Key("config");
-    WriteConfig(json, config_);
+    WriteSimulationConfigJson(json, config_);
   }
   json.Key("results").BeginArray();
   for (const SimulationResult& result : results_) {

@@ -69,6 +69,11 @@ class MetricsExporter {
 std::string SimulationResultToJson(const SimulationResult& result,
                                    const MetricsExportOptions& options = {});
 
+// Writes `config` as the document's "config" object shape. Shared between
+// the metrics exporter and the coopfs.run/v1 manifest writer so a manifest's
+// resolved configs are field-for-field comparable with metrics documents.
+void WriteSimulationConfigJson(JsonWriter& json, const SimulationConfig& config);
+
 // Validates that `json` parses and structurally conforms to
 // "coopfs.metrics/v1": schema tag, results array, and per-result required
 // fields with the documented types. Returns the first violation found.

@@ -1,0 +1,149 @@
+#include "src/obs/run_manifest.h"
+
+#include "src/common/json.h"
+#include "src/common/version.h"
+#include "src/obs/metrics_exporter.h"
+
+namespace coopfs {
+
+std::string RunManifestToJson(const RunManifest& manifest) {
+  JsonWriter json(2);
+  json.BeginObject();
+  json.Key("schema").Value(kRunManifestSchema);
+  json.Key("coopfs_version").Value(kVersionString);
+  json.Key("experiment").Value(manifest.experiment);
+  json.Key("title").Value(manifest.title);
+  json.Key("description").Value(manifest.description);
+  json.Key("workloads").BeginArray();
+  for (const std::string& workload : manifest.workloads) {
+    json.Value(workload);
+  }
+  json.EndArray();
+  json.Key("options").BeginObject();
+  json.Key("events").Value(manifest.events);
+  json.Key("seed").Value(manifest.seed);
+  json.Key("auspex_events").Value(manifest.auspex_events);
+  json.Key("sample_interval_us").Value(static_cast<std::int64_t>(manifest.sample_interval));
+  json.EndObject();
+  json.Key("configs").BeginArray();
+  for (const SimulationConfig& config : manifest.configs) {
+    WriteSimulationConfigJson(json, config);
+  }
+  json.EndArray();
+  json.Key("num_results").Value(manifest.num_results);
+  json.Key("threads").Value(manifest.threads);
+  json.Key("wall_time_s").Value(manifest.wall_time_s);
+  json.Key("command").Value(manifest.command);
+  json.Key("exports").BeginArray();
+  for (const RunExport& entry : manifest.exports) {
+    json.BeginObject();
+    json.Key("kind").Value(entry.kind);
+    json.Key("schema").Value(entry.schema);
+    json.Key("path").Value(entry.path);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+Status WriteRunManifest(const RunManifest& manifest, const std::string& path) {
+  const std::string document = RunManifestToJson(manifest);
+  COOPFS_RETURN_IF_ERROR(ValidateRunManifestDocument(document));
+  return WriteTextFile(path, document);
+}
+
+Status ValidateRunManifestDocument(std::string_view json) {
+  Result<JsonValue> parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return Status::DataLoss("run manifest root is not an object");
+  }
+  const JsonValue* schema = root.FindString("schema");
+  if (schema == nullptr) {
+    return Status::DataLoss("run manifest missing 'schema'");
+  }
+  if (schema->AsString() != kRunManifestSchema) {
+    return Status::DataLoss("unsupported run manifest schema '" + schema->AsString() + "'");
+  }
+  for (const char* field : {"coopfs_version", "experiment", "title", "description", "command"}) {
+    if (root.FindString(field) == nullptr) {
+      return Status::DataLoss(std::string("run manifest missing string field '") + field + "'");
+    }
+  }
+  if (root.FindString("experiment")->AsString().empty()) {
+    return Status::DataLoss("run manifest 'experiment' is empty");
+  }
+  const JsonValue* workloads = root.FindArray("workloads");
+  if (workloads == nullptr) {
+    return Status::DataLoss("run manifest missing 'workloads' array");
+  }
+  for (const JsonValue& workload : workloads->items()) {
+    if (!workload.is_string()) {
+      return Status::DataLoss("run manifest 'workloads' entries must be strings");
+    }
+  }
+  const JsonValue* options = root.FindObject("options");
+  if (options == nullptr) {
+    return Status::DataLoss("run manifest missing 'options' object");
+  }
+  for (const char* field : {"events", "seed", "auspex_events", "sample_interval_us"}) {
+    if (options->FindNumber(field) == nullptr) {
+      return Status::DataLoss(std::string("run manifest options missing numeric '") + field +
+                              "'");
+    }
+  }
+  const JsonValue* configs = root.FindArray("configs");
+  if (configs == nullptr) {
+    return Status::DataLoss("run manifest missing 'configs' array");
+  }
+  for (std::size_t i = 0; i < configs->items().size(); ++i) {
+    const JsonValue& config = configs->items()[i];
+    const std::string where = "configs[" + std::to_string(i) + "]";
+    if (!config.is_object()) {
+      return Status::DataLoss("run manifest " + where + " is not an object");
+    }
+    for (const char* field : {"client_cache_blocks", "server_cache_blocks", "block_size_bytes",
+                              "num_servers", "num_clients", "warmup_events", "seed"}) {
+      if (config.FindNumber(field) == nullptr) {
+        return Status::DataLoss("run manifest " + where + " missing numeric '" + field + "'");
+      }
+    }
+    if (config.FindString("write_policy") == nullptr) {
+      return Status::DataLoss("run manifest " + where + " missing string 'write_policy'");
+    }
+    if (config.FindObject("network") == nullptr) {
+      return Status::DataLoss("run manifest " + where + " missing object 'network'");
+    }
+  }
+  for (const char* field : {"num_results", "threads", "wall_time_s"}) {
+    if (root.FindNumber(field) == nullptr) {
+      return Status::DataLoss(std::string("run manifest missing numeric '") + field + "'");
+    }
+  }
+  const JsonValue* exports = root.FindArray("exports");
+  if (exports == nullptr) {
+    return Status::DataLoss("run manifest missing 'exports' array");
+  }
+  for (std::size_t i = 0; i < exports->items().size(); ++i) {
+    const JsonValue& entry = exports->items()[i];
+    const std::string where = "exports[" + std::to_string(i) + "]";
+    if (!entry.is_object()) {
+      return Status::DataLoss("run manifest " + where + " is not an object");
+    }
+    for (const char* field : {"kind", "schema", "path"}) {
+      if (entry.FindString(field) == nullptr) {
+        return Status::DataLoss("run manifest " + where + " missing string '" + field + "'");
+      }
+    }
+    if (entry.FindString("path")->AsString().empty()) {
+      return Status::DataLoss("run manifest " + where + " has an empty path");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace coopfs

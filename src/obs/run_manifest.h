@@ -1,0 +1,81 @@
+// Reproducible run manifests ("coopfs.run/v1", see docs/metrics_schema.md).
+//
+// Every `coopfs_bench` experiment run emits one manifest document recording
+// everything needed to re-run it exactly: the experiment name, the resolved
+// run options (events, seeds, sample interval), the fully resolved base
+// SimulationConfig(s), the library version, the wall time and thread count of
+// the run, an equivalent re-run command line, and the sibling export files
+// (metrics/events/timeseries/profile) with their schema versions. A table in
+// EXPERIMENTS.md is reproducible from its manifest alone:
+//
+//   coopfs_inspect manifest run/fig04_read_time.run.json   # shows the command
+//
+// Wall time and thread count are informational: re-running the manifest's
+// command at any thread count reproduces the tables and exports byte for
+// byte (replay is deterministic; the parallel-determinism ctest holds that
+// line).
+#ifndef COOPFS_SRC_OBS_RUN_MANIFEST_H_
+#define COOPFS_SRC_OBS_RUN_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/sim/config.h"
+
+namespace coopfs {
+
+// Schema identifier embedded in every manifest. Bump on any
+// backward-incompatible change; purely additive fields keep the version.
+inline constexpr std::string_view kRunManifestSchema = "coopfs.run/v1";
+
+// One export file written alongside the run.
+struct RunExport {
+  std::string kind;    // "metrics" | "events" | "perfetto" | "timeseries" | "profile"
+  std::string schema;  // e.g. "coopfs.metrics/v1"; empty for schema-less formats
+  std::string path;    // as written (absolute, or relative to the run's cwd)
+};
+
+struct RunManifest {
+  std::string experiment;   // registered spec name, e.g. "fig04_read_time"
+  std::string title;        // banner title, e.g. "Figure 4"
+  std::string description;  // one-line spec description
+  std::vector<std::string> workloads;  // trace kinds consumed: "sprite", "auspex"
+
+  // Resolved run options (BenchOptions after flags + environment overrides).
+  std::uint64_t events = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t auspex_events = 0;
+  Micros sample_interval = 0;
+
+  // Fully resolved base configuration(s) the experiment ran under. Sweeps
+  // record the base config; the swept axis is part of the spec itself and is
+  // re-derived from (experiment, options) on re-run.
+  std::vector<SimulationConfig> configs;
+
+  std::uint64_t num_results = 0;  // simulation results produced
+  std::uint64_t threads = 1;      // driver fan-out width (informational)
+  double wall_time_s = 0.0;       // wall clock of the run (informational)
+  std::string command;            // equivalent re-run command line
+  std::vector<RunExport> exports;
+};
+
+// Renders the manifest as a deterministic coopfs.run/v1 JSON document
+// (wall_time_s excepted — it reflects the actual run).
+std::string RunManifestToJson(const RunManifest& manifest);
+
+// Renders, validates, and writes the manifest to `path`; any validation or
+// I/O failure is returned (never written silently broken).
+Status WriteRunManifest(const RunManifest& manifest, const std::string& path);
+
+// Validates that `json` parses and structurally conforms to coopfs.run/v1:
+// schema tag, experiment name, options block, configs array with the
+// documented config fields, and well-formed exports entries.
+Status ValidateRunManifestDocument(std::string_view json);
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_OBS_RUN_MANIFEST_H_

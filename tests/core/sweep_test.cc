@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <vector>
+
 #include "src/trace/workload.h"
 #include "tests/testing/scripted.h"
 
@@ -83,6 +87,99 @@ TEST(SweepTest, MoreThreadsThanJobsIsFine) {
   const auto results = RunSimulationsParallel(trace, {job}, 64);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_TRUE(results[0].ok());
+}
+
+TEST(SweepCallbackTest, FiresOncePerJobWithMatchingResult) {
+  WorkloadConfig workload = SmallTestWorkloadConfig(10);
+  workload.num_events = 3000;
+  const Trace trace = GenerateWorkload(workload);
+  std::vector<SimulationJob> jobs;
+  for (PolicyKind kind : AllPolicyKinds()) {
+    SimulationJob job;
+    job.config = TinyConfig(16, 32);
+    job.kind = kind;
+    jobs.push_back(job);
+  }
+  // Callback invocations are serialized, so plain containers need no lock.
+  std::vector<std::size_t> seen;
+  std::vector<std::string> names(jobs.size());
+  const auto results = RunSimulationsParallel(
+      trace, jobs, 8, [&](std::size_t index, const Result<SimulationResult>& result) {
+        seen.push_back(index);
+        ASSERT_TRUE(result.ok());
+        names[index] = result->policy_name;
+      });
+  // Exactly one invocation per job, each with a distinct index.
+  ASSERT_EQ(seen.size(), jobs.size());
+  EXPECT_EQ(std::set<std::size_t>(seen.begin(), seen.end()).size(), jobs.size());
+  // The callback saw the same result the job-ordered return value carries.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(names[i], results[i]->policy_name);
+  }
+}
+
+TEST(SweepCallbackTest, ErrorStatusReachesCallbackAndResults) {
+  WorkloadConfig workload = SmallTestWorkloadConfig(10);
+  workload.num_events = 1000;
+  const Trace trace = GenerateWorkload(workload);
+  std::vector<SimulationJob> jobs(3);
+  for (SimulationJob& job : jobs) {
+    job.config = TinyConfig(8, 16);
+  }
+  // Invalid: the workload has 6 clients, so capping the simulated client
+  // count at 1 trips the event-range check mid-replay for this job only.
+  jobs[1].config.num_clients = 1;
+  std::size_t callback_errors = 0;
+  std::size_t callback_calls = 0;
+  const auto results = RunSimulationsParallel(
+      trace, jobs, 2, [&](std::size_t index, const Result<SimulationResult>& result) {
+        ++callback_calls;
+        if (!result.ok()) {
+          ++callback_errors;
+          EXPECT_EQ(index, 1u);
+        }
+      });
+  // One job failed; the other two still ran and the callback saw all three.
+  EXPECT_EQ(callback_calls, 3u);
+  EXPECT_EQ(callback_errors, 1u);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST(SweepCallbackTest, InputOrderPreservedWithMoreThreadsThanJobs) {
+  WorkloadConfig workload = SmallTestWorkloadConfig(8);
+  workload.num_events = 2000;
+  const Trace trace = GenerateWorkload(workload);
+  std::vector<SimulationJob> jobs;
+  for (std::size_t blocks : {4, 32, 8}) {
+    SimulationJob job;
+    job.config = TinyConfig(blocks, 64);
+    job.kind = PolicyKind::kBaseline;
+    jobs.push_back(job);
+  }
+  std::vector<std::size_t> completion_order;
+  const auto wide = RunSimulationsParallel(
+      trace, jobs, 16,
+      [&](std::size_t index, const Result<SimulationResult>&) {
+        completion_order.push_back(index);
+      });
+  const auto serial = RunSimulationsParallel(trace, jobs, 1);
+  // Whatever order the workers finished in, the returned vector is in input
+  // order and matches the serial run bit for bit on its counters.
+  ASSERT_EQ(completion_order.size(), jobs.size());
+  ASSERT_EQ(wide.size(), serial.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(wide[i].ok());
+    ASSERT_TRUE(serial[i].ok());
+    for (std::size_t level = 0; level < kNumCacheLevels; ++level) {
+      EXPECT_EQ(wide[i]->level_counts.Get(level), serial[i]->level_counts.Get(level));
+    }
+    EXPECT_EQ(wide[i]->server_load.TotalUnits(), serial[i]->server_load.TotalUnits());
+  }
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "src/core/nchance.h"
 #include "src/core/policy_factory.h"
 #include "src/sim/simulator.h"
+#include "src/trace/warmup.h"
 #include "src/trace/workload.h"
 
 namespace coopfs {
@@ -29,7 +30,7 @@ class FigureShapeTest : public ::testing::Test {
   static SimulationConfig PaperConfig() {
     SimulationConfig config;
     config.WithClientCacheMiB(16).WithServerCacheMiB(128);
-    config.warmup_events = trace_->size() * 4 / 7;
+    config.warmup_events = SpriteWarmupEvents(trace_->size());
     return config;
   }
 

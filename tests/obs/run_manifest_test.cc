@@ -1,0 +1,136 @@
+#include "src/obs/run_manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/json.h"
+#include "src/common/version.h"
+
+namespace coopfs {
+namespace {
+
+RunManifest MakeManifest() {
+  RunManifest manifest;
+  manifest.experiment = "fig04_read_time";
+  manifest.title = "Figure 4";
+  manifest.description = "average block read time by algorithm";
+  manifest.workloads = {"sprite"};
+  manifest.events = 700'000;
+  manifest.seed = 42;
+  manifest.auspex_events = 5'000'000;
+  manifest.sample_interval = 3'600'000'000;
+  SimulationConfig config;
+  config.WithClientCacheMiB(16).WithServerCacheMiB(128);
+  config.warmup_events = 400'000;
+  config.seed = 42;
+  manifest.configs.push_back(config);
+  manifest.num_results = 6;
+  manifest.threads = 4;
+  manifest.wall_time_s = 1.5;
+  manifest.command = "coopfs_bench --filter fig04_read_time --events 700000 --seed 42";
+  manifest.exports.push_back({"metrics", "coopfs.metrics/v1", "out/fig04.metrics.json"});
+  manifest.exports.push_back({"perfetto", "", "out/fig04.perfetto.json"});
+  return manifest;
+}
+
+TEST(RunManifestTest, RendersAValidatingDocument) {
+  const std::string json = RunManifestToJson(MakeManifest());
+  EXPECT_TRUE(ValidateRunManifestDocument(json).ok())
+      << ValidateRunManifestDocument(json).ToString();
+}
+
+TEST(RunManifestTest, RoundTripsEveryField) {
+  const RunManifest manifest = MakeManifest();
+  Result<JsonValue> parsed = ParseJson(RunManifestToJson(manifest));
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& root = *parsed;
+  EXPECT_EQ(root.FindString("schema")->AsString(), kRunManifestSchema);
+  EXPECT_EQ(root.FindString("coopfs_version")->AsString(), kVersionString);
+  EXPECT_EQ(root.FindString("experiment")->AsString(), manifest.experiment);
+  EXPECT_EQ(root.FindString("title")->AsString(), manifest.title);
+  EXPECT_EQ(root.FindString("description")->AsString(), manifest.description);
+  ASSERT_EQ(root.FindArray("workloads")->items().size(), 1u);
+  EXPECT_EQ(root.FindArray("workloads")->items()[0].AsString(), "sprite");
+  const JsonValue* options = root.FindObject("options");
+  ASSERT_NE(options, nullptr);
+  EXPECT_EQ(options->FindNumber("events")->AsInt(), 700'000);
+  EXPECT_EQ(options->FindNumber("seed")->AsInt(), 42);
+  EXPECT_EQ(options->FindNumber("auspex_events")->AsInt(), 5'000'000);
+  EXPECT_EQ(options->FindNumber("sample_interval_us")->AsInt(), 3'600'000'000);
+  const auto& configs = root.FindArray("configs")->items();
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_EQ(configs[0].FindNumber("client_cache_blocks")->AsInt(),
+            static_cast<std::int64_t>(manifest.configs[0].client_cache_blocks));
+  EXPECT_EQ(configs[0].FindNumber("warmup_events")->AsInt(), 400'000);
+  EXPECT_EQ(root.FindNumber("num_results")->AsInt(), 6);
+  EXPECT_EQ(root.FindNumber("threads")->AsInt(), 4);
+  EXPECT_DOUBLE_EQ(root.FindNumber("wall_time_s")->AsDouble(), 1.5);
+  EXPECT_EQ(root.FindString("command")->AsString(), manifest.command);
+  const auto& exports = root.FindArray("exports")->items();
+  ASSERT_EQ(exports.size(), 2u);
+  EXPECT_EQ(exports[0].FindString("kind")->AsString(), "metrics");
+  EXPECT_EQ(exports[0].FindString("schema")->AsString(), "coopfs.metrics/v1");
+  EXPECT_EQ(exports[0].FindString("path")->AsString(), "out/fig04.metrics.json");
+  EXPECT_EQ(exports[1].FindString("schema")->AsString(), "");
+}
+
+TEST(RunManifestTest, JsonIsDeterministicExceptWallTime) {
+  RunManifest a = MakeManifest();
+  RunManifest b = MakeManifest();
+  EXPECT_EQ(RunManifestToJson(a), RunManifestToJson(b));
+  b.wall_time_s = 99.0;
+  EXPECT_NE(RunManifestToJson(a), RunManifestToJson(b));
+}
+
+TEST(RunManifestTest, WriteFileRoundTrips) {
+  const RunManifest manifest = MakeManifest();
+  const std::string path = testing::TempDir() + "/manifest_roundtrip.run.json";
+  ASSERT_TRUE(WriteRunManifest(manifest, path).ok());
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string written = buffer.str();
+  EXPECT_TRUE(ValidateRunManifestDocument(written).ok());
+  // WriteTextFile appends a trailing newline to the rendered document.
+  EXPECT_EQ(written, RunManifestToJson(manifest) + "\n");
+}
+
+TEST(RunManifestValidationTest, RejectsGarbage) {
+  EXPECT_FALSE(ValidateRunManifestDocument("not json").ok());
+  EXPECT_FALSE(ValidateRunManifestDocument("[1, 2, 3]").ok());
+}
+
+TEST(RunManifestValidationTest, RejectsWrongSchema) {
+  RunManifest manifest = MakeManifest();
+  std::string json = RunManifestToJson(manifest);
+  const std::size_t at = json.find("coopfs.run/v1");
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at, std::string("coopfs.run/v1").size(), "coopfs.run/v9");
+  EXPECT_FALSE(ValidateRunManifestDocument(json).ok());
+}
+
+TEST(RunManifestValidationTest, RejectsEmptyExperiment) {
+  RunManifest manifest = MakeManifest();
+  manifest.experiment.clear();
+  EXPECT_FALSE(ValidateRunManifestDocument(RunManifestToJson(manifest)).ok());
+}
+
+TEST(RunManifestValidationTest, RejectsExportWithEmptyPath) {
+  RunManifest manifest = MakeManifest();
+  manifest.exports.push_back({"metrics", "coopfs.metrics/v1", ""});
+  EXPECT_FALSE(ValidateRunManifestDocument(RunManifestToJson(manifest)).ok());
+}
+
+TEST(RunManifestValidationTest, WriteRefusesInvalidManifest) {
+  RunManifest manifest = MakeManifest();
+  manifest.experiment.clear();
+  const std::string path = testing::TempDir() + "/manifest_invalid.run.json";
+  EXPECT_FALSE(WriteRunManifest(manifest, path).ok());
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good()) << "invalid manifest must not be written";
+}
+
+}  // namespace
+}  // namespace coopfs

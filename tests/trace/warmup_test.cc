@@ -1,0 +1,39 @@
+#include "src/trace/warmup.h"
+
+#include <gtest/gtest.h>
+
+namespace coopfs {
+namespace {
+
+TEST(WarmupTest, SpriteMatchesThePaper) {
+  // §3: the first 400,000 of the 700,000 Sprite accesses are warm-up.
+  EXPECT_EQ(SpriteWarmupEvents(700'000), 400'000u);
+}
+
+TEST(WarmupTest, AuspexMatchesThePaper) {
+  // §4.4: the first million of the 5 million visible events are warm-up.
+  EXPECT_EQ(AuspexWarmupEvents(5'000'000), 1'000'000u);
+}
+
+TEST(WarmupTest, ScaledRunsKeepTheFraction) {
+  // Shortened benches (e.g. --events 30000 in tests) warm the same fraction.
+  EXPECT_EQ(SpriteWarmupEvents(70'000), 40'000u);
+  EXPECT_EQ(SpriteWarmupEvents(7), 4u);
+  EXPECT_EQ(AuspexWarmupEvents(50'000), 10'000u);
+  EXPECT_EQ(AuspexWarmupEvents(5), 1u);
+}
+
+TEST(WarmupTest, SmallCountsTruncateTowardZero) {
+  EXPECT_EQ(SpriteWarmupEvents(0), 0u);
+  EXPECT_EQ(SpriteWarmupEvents(1), 0u);
+  EXPECT_EQ(AuspexWarmupEvents(0), 0u);
+  EXPECT_EQ(AuspexWarmupEvents(4), 0u);
+}
+
+TEST(WarmupTest, UsableInConstantExpressions) {
+  static_assert(SpriteWarmupEvents(700'000) == 400'000);
+  static_assert(AuspexWarmupEvents(5'000'000) == 1'000'000);
+}
+
+}  // namespace
+}  // namespace coopfs

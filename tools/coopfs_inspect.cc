@@ -19,6 +19,8 @@
 //   export-perfetto <out.json>    convert to Chrome trace_event JSON
 //   timeline                      render a coopfs.timeseries/v1 document
 //   profile                       render a coopfs.profile/v1 document
+//   manifest                      render a coopfs.run/v1 run manifest and
+//                                 cross-check that its export files exist
 // Options:
 //   --run N        restrict to run index N (default: all runs)
 //   --top N        hot-blocks list length (default 20)
@@ -29,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -36,8 +39,10 @@
 #include <vector>
 
 #include "src/common/format.h"
+#include "src/common/json.h"
 #include "src/common/profiler.h"
 #include "src/common/stats.h"
+#include "src/obs/run_manifest.h"
 #include "src/obs/snapshot_sampler.h"
 #include "src/obs/trace_recorder.h"
 #include "src/obs/trace_sink.h"
@@ -64,6 +69,8 @@ void PrintUsage() {
                "commands (on other documents):\n"
                "  timeline                    render coopfs.timeseries/v1 samples\n"
                "  profile                     render a coopfs.profile/v1 span tree\n"
+               "  manifest                    render a coopfs.run/v1 manifest and\n"
+               "                              cross-check its export files\n"
                "options: --run N (restrict to one run index)\n");
 }
 
@@ -415,6 +422,98 @@ void CommandProfile(const std::vector<Profiler::Node>& roots) {
   std::printf("\n%s", ProfileSelfTimeTable(roots).c_str());
 }
 
+// ---- manifest (coopfs.run/v1) ----
+
+// Export paths are stored as written by the run (absolute, or relative to
+// the run's working directory). For the cross-check, try the path as-is
+// first, then relative to the manifest's own directory — the common case
+// when a whole --out-dir was moved or archived together with the exports.
+bool ExportExists(const std::string& manifest_path, const std::string& export_path) {
+  std::error_code ec;
+  if (std::filesystem::exists(export_path, ec)) {
+    return true;
+  }
+  const std::filesystem::path sibling =
+      std::filesystem::path(manifest_path).parent_path() / export_path;
+  return std::filesystem::exists(sibling, ec);
+}
+
+void CommandManifest(const std::string& input_path, const std::string& text) {
+  if (Status status = ValidateRunManifestDocument(text); !status.ok()) {
+    Die(input_path + ": " + status.ToString());
+  }
+  // Validation guarantees every field read below is present and typed.
+  const JsonValue root = *ParseJson(text);
+  std::printf("%s: %s, coopfs %s\n\n", input_path.c_str(),
+              root.FindString("schema")->AsString().c_str(),
+              root.FindString("coopfs_version")->AsString().c_str());
+  std::printf("experiment:  %s (%s)\n", root.FindString("experiment")->AsString().c_str(),
+              root.FindString("title")->AsString().c_str());
+  std::printf("description: %s\n", root.FindString("description")->AsString().c_str());
+  std::string workloads;
+  for (const JsonValue& workload : root.FindArray("workloads")->items()) {
+    workloads += (workloads.empty() ? "" : ", ") + workload.AsString();
+  }
+  std::printf("workloads:   %s\n", workloads.empty() ? "(none)" : workloads.c_str());
+  const JsonValue* options = root.FindObject("options");
+  std::printf("options:     events %lld, seed %lld, auspex_events %lld, "
+              "sample_interval %lld us\n",
+              static_cast<long long>(options->FindNumber("events")->AsInt()),
+              static_cast<long long>(options->FindNumber("seed")->AsInt()),
+              static_cast<long long>(options->FindNumber("auspex_events")->AsInt()),
+              static_cast<long long>(options->FindNumber("sample_interval_us")->AsInt()));
+  std::printf("run:         %lld results, %lld threads, %s s wall\n",
+              static_cast<long long>(root.FindNumber("num_results")->AsInt()),
+              static_cast<long long>(root.FindNumber("threads")->AsInt()),
+              FormatDouble(root.FindNumber("wall_time_s")->AsDouble(), 2).c_str());
+  std::printf("re-run:      %s\n\n", root.FindString("command")->AsString().c_str());
+
+  const auto& configs = root.FindArray("configs")->items();
+  if (!configs.empty()) {
+    TableFormatter table({"Config", "Client cache", "Server cache", "Servers", "Warm-up",
+                          "Seed", "Write policy"});
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const JsonValue& config = configs[i];
+      const auto blocks_mib = [&config](const char* field) {
+        const double blocks = static_cast<double>(config.FindNumber(field)->AsInt());
+        const double block_bytes =
+            static_cast<double>(config.FindNumber("block_size_bytes")->AsInt());
+        return FormatDouble(blocks * block_bytes / (1024.0 * 1024.0), 0) + " MB";
+      };
+      table.AddRow({std::to_string(i), blocks_mib("client_cache_blocks"),
+                    blocks_mib("server_cache_blocks"),
+                    std::to_string(config.FindNumber("num_servers")->AsInt()),
+                    std::to_string(config.FindNumber("warmup_events")->AsInt()) + " events",
+                    std::to_string(config.FindNumber("seed")->AsInt()),
+                    config.FindString("write_policy")->AsString()});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  const auto& exports = root.FindArray("exports")->items();
+  if (exports.empty()) {
+    std::printf("exports: none\n");
+    return;
+  }
+  TableFormatter table({"Kind", "Schema", "Path", "Status"});
+  std::vector<std::string> missing;
+  for (const JsonValue& entry : exports) {
+    const std::string& path = entry.FindString("path")->AsString();
+    const bool exists = ExportExists(input_path, path);
+    if (!exists) {
+      missing.push_back(path);
+    }
+    const std::string& schema = entry.FindString("schema")->AsString();
+    table.AddRow({entry.FindString("kind")->AsString(), schema.empty() ? "-" : schema, path,
+                  exists ? "ok" : "MISSING"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  if (!missing.empty()) {
+    Die(std::to_string(missing.size()) + " export file(s) referenced by " + input_path +
+        " not found (first: " + missing.front() + ")");
+  }
+}
+
 }  // namespace
 }  // namespace coopfs
 
@@ -443,7 +542,8 @@ int main(int argc, char** argv) {
 
   static constexpr const char* kCommands[] = {"summary",  "latency", "hot-blocks",
                                               "forwards", "recirc",  "block",
-                                              "export-perfetto", "timeline", "profile"};
+                                              "export-perfetto", "timeline", "profile",
+                                              "manifest"};
   std::size_t cursor = 0;
   if (!positional.empty()) {
     bool known = false;
@@ -503,6 +603,10 @@ int main(int argc, char** argv) {
       }
     }
     CommandTimeline(*timeseries, indices);
+    return 0;
+  }
+  if (command == "manifest") {
+    CommandManifest(input_path, text);
     return 0;
   }
   if (command == "profile") {
