@@ -28,11 +28,19 @@
 //   * replay_profiled_nchance — the N-Chance replay with the self-profiler
 //                            enabled (vs. replay_serial_nchance: the
 //                            per-span steady_clock cost when ON)
-//   * parallel_sweep_<t>   — RunSimulationsParallel over the Figure 4 job
-//                            list at 1, 2, and hardware threads
+//   * parallel_sweep_<t>   — RunSimulationsParallel over 4 replicas of the
+//                            Figure 4 job list (24 jobs) at 1, 2, 4, and 8
+//                            worker threads (plus --threads when wider).
+//                            The document's host_threads field records the
+//                            machine's hardware concurrency so the
+//                            bench_compare scaling gate can judge speedups
+//                            against what was physically attainable.
 //
 // and writes the series to BENCH_coopfs.json ("coopfs.bench/v1", see
 // docs/metrics_schema.md) so every commit leaves a comparable perf baseline.
+// Where the platform allows it (Linux), the kernel's peak-RSS watermark is
+// reset before each series so peak_rss_bytes attributes memory to the series
+// that touched it rather than reporting the monotonic process maximum.
 //
 // Usage: perf_harness [--events N] [--seed S] [--out PATH] [--threads T]
 //                     [--dry-run]
@@ -68,6 +76,14 @@ namespace {
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Opens a measurement window: rewinds the kernel's peak-RSS watermark (so
+// the series' peak_rss_bytes covers only memory this series touches; no-op
+// where unsupported) and starts the clock.
+std::chrono::steady_clock::time_point StartSeries() {
+  TryResetPeakRssCounter();
+  return std::chrono::steady_clock::now();
 }
 
 // Paper §4.1 defaults, as in ExperimentContext::PaperConfig but without the
@@ -132,6 +148,8 @@ int Run(int argc, char** argv) {
   }
 
   BenchReport report;
+  report.host_threads =
+      std::max<std::uint32_t>(1, std::thread::hardware_concurrency());
   if (dry_run) {
     if (Status status = report.WriteFile(out_path); !status.ok()) {
       std::fprintf(stderr, "perf_harness: %s\n", status.ToString().c_str());
@@ -149,7 +167,7 @@ int Run(int argc, char** argv) {
   {
     WorkloadConfig config = SpriteWorkloadConfig(options.seed);
     config.num_events = options.events;
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = StartSeries();
     const Trace generated = GenerateWorkload(config);
     report.series.push_back(MakeSeries("trace_gen", generated.size(), SecondsSince(start)));
   }
@@ -177,7 +195,7 @@ int Run(int argc, char** argv) {
     }
     const std::uint64_t lookups = options.events * 8;
     std::uint64_t checksum = 0;
-    auto start = std::chrono::steady_clock::now();
+    auto start = StartSeries();
     for (std::uint64_t i = 0; i < lookups; ++i) {
       const std::uint64_t* value = map.Find(next() % (2 * kTableEntries));
       checksum += value != nullptr ? *value : 1;
@@ -194,7 +212,7 @@ int Run(int argc, char** argv) {
       churn[head] = head;
     }
     const std::uint64_t cycles = options.events * 4;
-    start = std::chrono::steady_clock::now();
+    start = StartSeries();
     for (std::uint64_t i = 0; i < cycles; ++i) {
       churn[head] = head;
       checksum += churn.Erase(head - kTableEntries) ? 0 : 1;
@@ -206,14 +224,17 @@ int Run(int argc, char** argv) {
     }
   }
 
-  // The replay series share one memoized trace; generate it before timing.
-  const Trace& trace = SpriteTrace(options);
+  // The replay series share one memoized trace snapshot; acquiring it here
+  // (before timing) pays the single refcount bump up front, so the parallel
+  // sweeps below see only an immutable `const Trace&`.
+  const std::shared_ptr<const Trace> trace_snapshot = SpriteTraceSnapshot(options);
+  const Trace& trace = *trace_snapshot;
   const SimulationConfig config = HarnessConfig(options, trace.size());
 
   // 2. Serial replay throughput per policy (events replayed per second).
   for (const ReplayCase& replay : kReplayCases) {
     Simulator simulator(config, &trace);
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = StartSeries();
     const SimulationResult result = MustRun(simulator, replay.kind);
     BenchSeries series = MakeSeries(replay.series_name, trace.size(), SecondsSince(start));
     (void)result;
@@ -229,7 +250,7 @@ int Run(int argc, char** argv) {
     SimulationConfig traced_config = config;
     traced_config.trace_recorder = &recorder;
     Simulator simulator(traced_config, &trace);
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = StartSeries();
     const SimulationResult result = MustRun(simulator, PolicyKind::kNChance);
     BenchSeries series = MakeSeries("replay_traced_nchance", trace.size(), SecondsSince(start));
     (void)result;
@@ -239,7 +260,7 @@ int Run(int argc, char** argv) {
     metadata.seed = options.seed;
     metadata.trace_events = options.events;
     metadata.workload = "sprite";
-    const auto export_start = std::chrono::steady_clock::now();
+    const auto export_start = StartSeries();
     const std::string jsonl = EventsToJsonl(recorder.runs(), metadata);
     report.series.push_back(
         MakeSeries("trace_export_jsonl", jsonl.size(), SecondsSince(export_start)));
@@ -253,7 +274,7 @@ int Run(int argc, char** argv) {
     sampled_config.snapshot_sampler = &sampler;
     sampled_config.sample_interval = options.sample_interval;
     Simulator simulator(sampled_config, &trace);
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = StartSeries();
     const SimulationResult result = MustRun(simulator, PolicyKind::kNChance);
     BenchSeries series = MakeSeries("replay_sampled_nchance", trace.size(), SecondsSince(start));
     (void)result;
@@ -263,7 +284,7 @@ int Run(int argc, char** argv) {
     metadata.seed = options.seed;
     metadata.trace_events = options.events;
     metadata.workload = "sprite";
-    const auto export_start = std::chrono::steady_clock::now();
+    const auto export_start = StartSeries();
     const std::string jsonl = TimeseriesToJsonl(sampler.runs(), metadata);
     report.series.push_back(
         MakeSeries("timeseries_export_jsonl", jsonl.size(), SecondsSince(export_start)));
@@ -277,7 +298,7 @@ int Run(int argc, char** argv) {
     Profiler::Reset();
     Profiler::Enable(true);
     Simulator simulator(config, &trace);
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = StartSeries();
     const SimulationResult result = MustRun(simulator, PolicyKind::kNChance);
     BenchSeries series =
         MakeSeries("replay_profiled_nchance", trace.size(), SecondsSince(start));
@@ -289,18 +310,24 @@ int Run(int argc, char** argv) {
     }
   }
 
-  // 4. Parallel sweep scaling: the Figure 4 job list (6 policies) at 1, 2,
-  //    and `max_threads` worker threads; items = total events replayed.
+  // 4. Parallel sweep scaling: 4 replicas of the Figure 4 job list (24
+  //    jobs — enough work per width that every worker stays busy past the
+  //    ramp-up) at 1, 2, 4, and 8 worker threads, plus --threads when it is
+  //    wider; items = total events replayed. The scaling gate in
+  //    tools/bench_compare judges these series against host_threads.
   std::vector<SimulationJob> jobs;
-  for (PolicyKind kind : Figure4PolicyKinds()) {
-    jobs.push_back(SimulationJob{config, kind, PolicyParams{}});
+  constexpr std::size_t kSweepReplicas = 4;
+  for (std::size_t replica = 0; replica < kSweepReplicas; ++replica) {
+    for (PolicyKind kind : Figure4PolicyKinds()) {
+      jobs.push_back(SimulationJob{config, kind, PolicyParams{}});
+    }
   }
-  std::vector<std::size_t> thread_counts{1, 2};
-  if (max_threads > 2) {
+  std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+  if (max_threads > thread_counts.back()) {
     thread_counts.push_back(max_threads);
   }
   for (std::size_t threads : thread_counts) {
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = StartSeries();
     const auto results = RunSimulationsParallel(trace, jobs, threads);
     const double seconds = SecondsSince(start);
     for (const auto& result : results) {

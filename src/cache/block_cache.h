@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/flat_hash_map.h"
 #include "src/common/intrusive_list.h"
 #include "src/common/types.h"
@@ -59,9 +60,14 @@ class BlockCache {
   // Capacity in 8 KB blocks. A zero-capacity cache is legal (e.g. the local
   // section when 100% of client memory is centrally coordinated) and simply
   // rejects insertion. The entry slab and the index are fully allocated
-  // here; steady-state operation never allocates.
-  explicit BlockCache(std::size_t capacity_blocks)
-      : capacity_(capacity_blocks), slab_(capacity_blocks) {
+  // here; steady-state operation never allocates. With an arena, the slab,
+  // free list, and index all draw from it (sweep workers reuse one arena
+  // across jobs instead of re-faulting fresh heap pages per job).
+  explicit BlockCache(std::size_t capacity_blocks, Arena* arena = nullptr)
+      : capacity_(capacity_blocks),
+        slab_(capacity_blocks, ArenaAllocator<CacheEntry>(arena)),
+        free_slots_(ArenaAllocator<std::uint32_t>(arena)),
+        index_(arena) {
     index_.Reserve(capacity_);
     free_slots_.reserve(capacity_);
     // Pop from the back: slots are handed out in ascending order.
@@ -221,8 +227,10 @@ class BlockCache {
   }
 
   std::size_t capacity_;
-  std::vector<CacheEntry> slab_;            // Stable entry storage, one per slot.
-  std::vector<std::uint32_t> free_slots_;   // Unused slab slots (LIFO).
+  // Stable entry storage, one per slot.
+  std::vector<CacheEntry, ArenaAllocator<CacheEntry>> slab_;
+  // Unused slab slots (LIFO).
+  std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> free_slots_;
   FlatHashMap<std::uint64_t, std::uint32_t> index_;  // Packed BlockId -> slot.
   IntrusiveList<CacheEntry, &CacheEntry::lru_node> lru_;
 };

@@ -12,11 +12,11 @@ void Directory::AddHolder(BlockId block, ClientId client) {
     // First time this block is tracked: register it with its file. Entries
     // whose holder sets empty later stay registered (and stay in holders_)
     // so re-adding a holder never duplicates the file index.
-    file_index_[block.file].push_back(block.Pack());
+    file_index_[block.file].push_back(block.Pack(), arena_);
   }
   HolderList& list = per_block->holders;
   if (!list.ContainsValue(client)) {
-    list.push_back(client);
+    list.push_back(client, arena_);
     CountOp(DirectoryOpKind::kAddHolder, block, client);
   }
 }
@@ -71,7 +71,7 @@ ClientId Directory::PickHolder(BlockId block, ClientId exclude, Rng& rng) const 
 
 std::vector<BlockId> Directory::BlocksOfFile(FileId file) const {
   std::vector<BlockId> result;
-  const std::vector<std::uint64_t>* blocks = file_index_.Find(file);
+  const FileBlockList* blocks = file_index_.Find(file);
   if (blocks == nullptr) {
     return result;
   }
@@ -90,15 +90,9 @@ void Directory::EraseBlock(BlockId block) {
     return;
   }
   CountOp(DirectoryOpKind::kEraseBlock, block, kNoClient);
-  std::vector<std::uint64_t>* blocks = file_index_.Find(block.file);
+  FileBlockList* blocks = file_index_.Find(block.file);
   if (blocks != nullptr) {
-    for (std::size_t i = 0; i < blocks->size(); ++i) {
-      if ((*blocks)[i] == block.Pack()) {
-        (*blocks)[i] = blocks->back();
-        blocks->pop_back();
-        break;
-      }
-    }
+    blocks->SwapRemove(block.Pack());
     if (blocks->empty()) {
       file_index_.Erase(block.file);
     }

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/flat_hash_map.h"
 #include "src/common/inline_vec.h"
 #include "src/common/rng.h"
@@ -53,7 +54,16 @@ class Directory {
   // four inline slots cover the common case without heap traffic.
   using HolderList = InlineVec<ClientId, 4>;
 
+  // Blocks of one file with (possibly stale) holder state. Most files have a
+  // handful of tracked blocks at a time; spills draw from the arena.
+  using FileBlockList = InlineVec<std::uint64_t, 4>;
+
   Directory() = default;
+
+  // Both indexes — and any holder-set or file-list spill past the inline
+  // capacity — draw from `arena` (null = global heap).
+  explicit Directory(Arena* arena)
+      : arena_(arena), holders_(arena), file_index_(arena) {}
 
   Directory(const Directory&) = delete;
   Directory& operator=(const Directory&) = delete;
@@ -165,10 +175,11 @@ class Directory {
 
   std::uint64_t* op_counter_ = nullptr;
   DirectoryObserver* observer_ = nullptr;
+  Arena* arena_ = nullptr;
   FlatHashMap<std::uint64_t, PerBlock> holders_;
-  // file -> packed BlockIds with (possibly stale) holder state. Vector order
+  // file -> packed BlockIds with (possibly stale) holder state. List order
   // is insertion order with swap-remove: deterministic, capacity-independent.
-  FlatHashMap<FileId, std::vector<std::uint64_t>> file_index_;
+  FlatHashMap<FileId, FileBlockList> file_index_;
 };
 
 }  // namespace coopfs

@@ -1,0 +1,78 @@
+#include "src/common/arena.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coopfs {
+namespace {
+
+inline std::uintptr_t AlignUp(std::uintptr_t value, std::size_t alignment) {
+  return (value + (alignment - 1)) & ~static_cast<std::uintptr_t>(alignment - 1);
+}
+
+}  // namespace
+
+void* Arena::Allocate(std::size_t bytes, std::size_t alignment) {
+  assert(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  if (bytes == 0) {
+    bytes = 1;  // Keep zero-byte requests distinct and non-null.
+  }
+  const std::uintptr_t aligned = AlignUp(cursor_, alignment);
+  if (aligned + bytes <= limit_ && aligned >= cursor_) {
+    cursor_ = aligned + bytes;
+    used_bytes_ += bytes;
+    return reinterpret_cast<void*>(aligned);
+  }
+  return AllocateSlow(bytes, alignment);
+}
+
+void* Arena::AllocateSlow(std::size_t bytes, std::size_t alignment) {
+  // Advance through retained chunks first; only touch the heap when none of
+  // them can serve the request. The alignment slack is bounded, so reserving
+  // bytes + alignment guarantees the aligned request fits.
+  const std::size_t needed = bytes + alignment;
+  while (current_ + 1 < chunks_.size()) {
+    ++current_;
+    const Chunk& chunk = chunks_[current_];
+    cursor_ = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+    limit_ = cursor_ + chunk.size;
+    const std::uintptr_t aligned = AlignUp(cursor_, alignment);
+    if (aligned + bytes <= limit_) {
+      cursor_ = aligned + bytes;
+      used_bytes_ += bytes;
+      return reinterpret_cast<void*>(aligned);
+    }
+  }
+
+  Chunk chunk;
+  chunk.size = std::max(needed, next_chunk_bytes_);
+  chunk.data = std::make_unique<std::byte[]>(chunk.size);
+  ++chunk_allocations_;
+  if (next_chunk_bytes_ < kMaxChunkBytes) {
+    next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+  }
+  chunks_.push_back(std::move(chunk));
+  current_ = chunks_.size() - 1;
+  cursor_ = reinterpret_cast<std::uintptr_t>(chunks_[current_].data.get());
+  limit_ = cursor_ + chunks_[current_].size;
+
+  const std::uintptr_t aligned = AlignUp(cursor_, alignment);
+  cursor_ = aligned + bytes;
+  used_bytes_ += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::Reset() {
+  ++resets_;
+  used_bytes_ = 0;
+  current_ = 0;
+  if (chunks_.empty()) {
+    cursor_ = 0;
+    limit_ = 0;
+    return;
+  }
+  cursor_ = reinterpret_cast<std::uintptr_t>(chunks_[0].data.get());
+  limit_ = cursor_ + chunks_[0].size;
+}
+
+}  // namespace coopfs

@@ -1,0 +1,111 @@
+// Bounded lock-free MPMC completion queue (Vyukov ring).
+//
+// RunSimulationsParallel used to serialize job-completion callbacks behind a
+// mutex shared by every worker; with short jobs the workers convoyed on that
+// lock. This queue replaces it: workers TryPush the finished job index
+// wait-free in the common case, and the caller thread drains indices and
+// fires callbacks in submission order without ever blocking a worker.
+//
+// Classic bounded MPMC design: each cell carries a sequence counter; a
+// producer claims a cell by CAS on the enqueue cursor and publishes with a
+// release store of the sequence, a consumer mirrors it on the dequeue side.
+// No operation takes a lock and no operation waits on another thread that is
+// descheduled mid-operation (except a producer/consumer pair racing on the
+// same cell, which resolves in a bounded number of steps).
+//
+// Capacity is rounded up to a power of two. Size the queue to at least the
+// number of in-flight items and TryPush can never fail.
+#ifndef COOPFS_SRC_COMMON_COMPLETION_QUEUE_H_
+#define COOPFS_SRC_COMMON_COMPLETION_QUEUE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace coopfs {
+
+template <typename T>
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(std::size_t min_capacity) {
+    std::size_t capacity = 2;
+    while (capacity < min_capacity) {
+      capacity *= 2;
+    }
+    mask_ = capacity - 1;
+    cells_ = std::make_unique<Cell[]>(capacity);
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Returns false only when the ring is full.
+  bool TryPush(T value) {
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff =
+          static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // Full: the consumer has not freed this cell yet.
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff = static_cast<std::ptrdiff_t>(seq) -
+                                  static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          *out = std::move(cell.value);
+          cell.sequence.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // Empty: no producer has published this cell yet.
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence;
+    T value;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  // Producers and consumers advance independent cursors; keep them on
+  // separate cache lines so pushes do not invalidate the consumer's line.
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace coopfs
+
+#endif  // COOPFS_SRC_COMMON_COMPLETION_QUEUE_H_

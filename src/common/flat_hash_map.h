@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/profiler.h"
 
 namespace coopfs {
@@ -94,6 +95,12 @@ class FlatHashMap {
 
  public:
   FlatHashMap() = default;
+
+  // Draws the slot and metadata arrays from `arena` (null = global heap).
+  // Rehash abandons the old arrays into the arena — size the map with
+  // Reserve() up front, as the replay containers already do.
+  explicit FlatHashMap(Arena* arena)
+      : slots_(ArenaAllocator<Slot>(arena)), dist_(ArenaAllocator<std::uint8_t>(arena)) {}
 
   FlatHashMap(FlatHashMap&&) noexcept = default;
   FlatHashMap& operator=(FlatHashMap&&) noexcept = default;
@@ -334,8 +341,8 @@ class FlatHashMap {
 
   void Rehash(std::size_t new_buckets, Slot* carried = nullptr) {
     COOPFS_PROFILE_SCOPE("flat_map/rehash");
-    std::vector<Slot> old_slots = std::move(slots_);
-    std::vector<std::uint8_t> old_dist = std::move(dist_);
+    SlotVec old_slots = std::move(slots_);
+    DistVec old_dist = std::move(dist_);
     slots_.assign(new_buckets, Slot{});
     dist_.assign(new_buckets, 0);
     mask_ = new_buckets - 1;
@@ -374,8 +381,11 @@ class FlatHashMap {
     }
   }
 
-  std::vector<Slot> slots_;
-  std::vector<std::uint8_t> dist_;
+  using SlotVec = std::vector<Slot, ArenaAllocator<Slot>>;
+  using DistVec = std::vector<std::uint8_t, ArenaAllocator<std::uint8_t>>;
+
+  SlotVec slots_;
+  DistVec dist_;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
   std::uint64_t rehashes_ = 0;
@@ -386,6 +396,9 @@ class FlatHashMap {
 template <typename K, typename Hasher = FlatHash<K>>
 class FlatHashSet {
  public:
+  FlatHashSet() = default;
+  explicit FlatHashSet(Arena* arena) : map_(arena) {}
+
   std::size_t size() const { return map_.size(); }
   bool empty() const { return map_.empty(); }
   void Reserve(std::size_t n) { map_.Reserve(n); }

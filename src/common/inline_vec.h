@@ -19,6 +19,8 @@
 #include <cstring>
 #include <type_traits>
 
+#include "src/common/arena.h"
+
 namespace coopfs {
 
 template <typename T, std::size_t N>
@@ -27,7 +29,10 @@ class InlineVec {
   static_assert(N > 0, "inline capacity must be positive");
 
  public:
-  InlineVec() = default;
+  // Activates the pointer variant so element types with default member
+  // initializers (non-trivial default ctors) can sit in the union; elements
+  // are trivially copyable, so slots are written without construction.
+  InlineVec() : heap_(nullptr) {}
 
   InlineVec(const InlineVec& other) { CopyFrom(other); }
   InlineVec& operator=(const InlineVec& other) {
@@ -51,9 +56,12 @@ class InlineVec {
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const { return capacity_ & ~kArenaFlag; }
   static constexpr std::size_t inline_capacity() { return N; }
   bool inlined() const { return capacity_ == N; }
+  // Whether the spilled storage came from an Arena (and so must not be
+  // delete[]d). Always false while inline.
+  bool arena_backed() const { return (capacity_ & kArenaFlag) != 0; }
 
   T* data() { return inlined() ? inline_ : heap_; }
   const T* data() const { return inlined() ? inline_ : heap_; }
@@ -78,8 +86,19 @@ class InlineVec {
   const T& back() const { return (*this)[size_ - 1]; }
 
   void push_back(const T& value) {
-    if (size_ == capacity_) {
-      Grow();
+    if (size_ == capacity()) {
+      Grow(nullptr);
+    }
+    data()[size_++] = value;
+  }
+
+  // Like push_back, but a spill past the inline capacity draws its heap
+  // block from `arena` (null falls back to the global heap). Arena-backed
+  // storage is never freed by this container — the arena reclaims it
+  // wholesale at Reset().
+  void push_back(const T& value, Arena* arena) {
+    if (size_ == capacity()) {
+      Grow(arena);
     }
     data()[size_++] = value;
   }
@@ -123,29 +142,42 @@ class InlineVec {
   }
 
  private:
-  void Grow() {
-    const std::size_t new_capacity = capacity_ * 2;
-    T* fresh = new T[new_capacity];
+  // MSB of capacity_ marks arena-backed heap storage. Inline capacities are
+  // tiny and growth doubles from N, so real capacities never reach the flag.
+  static constexpr std::uint32_t kArenaFlag = 0x80000000u;
+
+  void Grow(Arena* arena) {
+    const std::size_t new_capacity = capacity() * 2;
+    T* fresh;
+    std::uint32_t flag = 0;
+    if (arena != nullptr) {
+      fresh = static_cast<T*>(arena->Allocate(new_capacity * sizeof(T), alignof(T)));
+      flag = kArenaFlag;
+    } else {
+      fresh = new T[new_capacity];
+    }
     std::memcpy(fresh, data(), size_ * sizeof(T));
     Release();
     heap_ = fresh;
-    capacity_ = static_cast<std::uint32_t>(new_capacity);
+    capacity_ = static_cast<std::uint32_t>(new_capacity) | flag;
   }
 
   void Release() {
-    if (!inlined()) {
+    if (!inlined() && !arena_backed()) {
       delete[] heap_;
     }
     capacity_ = N;
   }
 
+  // Copies always land on the global heap: the copy may outlive the source's
+  // arena, and holder-list copies (policy snapshots) are cold-path anyway.
   void CopyFrom(const InlineVec& other) {
     size_ = other.size_;
     if (other.inlined()) {
       capacity_ = N;
       std::memcpy(inline_, other.inline_, size_ * sizeof(T));
     } else {
-      capacity_ = other.capacity_;
+      capacity_ = static_cast<std::uint32_t>(other.capacity());
       heap_ = new T[capacity_];
       std::memcpy(heap_, other.heap_, size_ * sizeof(T));
     }

@@ -6,6 +6,14 @@
 // fans the runs out over a thread pool and returns results in input order.
 // Determinism is unaffected: each run's result depends only on its own
 // (config, policy), never on scheduling.
+//
+// Scaling design (see docs/performance.md): each worker owns a reusable
+// Arena that every job's SimContext draws from, so steady-state sweeping
+// performs no global-heap traffic and workers never contend on the
+// allocator; per-job result slots are cache-line padded against false
+// sharing; and completions flow through a bounded lock-free queue drained
+// by the calling thread, which fires the callback in submission order —
+// workers never serialize on a callback mutex.
 #ifndef COOPFS_SRC_CORE_SWEEP_H_
 #define COOPFS_SRC_CORE_SWEEP_H_
 
@@ -25,16 +33,23 @@ struct SimulationJob {
   PolicyParams params;
 };
 
-// Invoked once per completed job with its input index and result (which may
-// carry an error Status). Invocations are serialized under an internal mutex
-// — callbacks may print or mutate shared state without further locking —
-// but arrive in completion order, not job order.
+// Invoked once per job with its input index and result (which may carry an
+// error Status). Invocations all happen on the calling thread, in submission
+// (job-index) order — callbacks may print or mutate shared state without any
+// locking. Job i's callback fires as soon as jobs 0..i have all completed,
+// overlapping with still-running later jobs.
 using SweepCallback = std::function<void(std::size_t job_index, const Result<SimulationResult>&)>;
 
 // Runs all jobs against `trace` using up to `threads` worker threads
-// (0 = hardware concurrency). Results are returned in job order; a failed
-// run carries its error Status. `on_job_done`, when set, fires after each
-// job finishes (driver progress lines).
+// (0 = hardware concurrency; requests beyond the core count or the job
+// count are clamped — oversubscribing a CPU-bound replay only adds context
+// switches and cache thrash). Results are returned in job order; a failed
+// run carries its error Status. `on_job_done`, when set, fires once per job
+// in job order (driver progress lines).
+//
+// Jobs whose config has no arena attached are run against a per-worker
+// arena owned by the sweep; a caller-provided config.arena is used as-is
+// (the caller must then ensure jobs sharing an arena never run concurrently).
 std::vector<Result<SimulationResult>> RunSimulationsParallel(
     const Trace& trace, const std::vector<SimulationJob>& jobs, std::size_t threads = 0,
     const SweepCallback& on_job_done = nullptr);

@@ -13,26 +13,27 @@ namespace coopfs {
 namespace {
 
 // One cache per trace kind, each guarded by its own mutex so Sprite and
-// Auspex generation can proceed concurrently. Values are unique_ptrs so the
-// returned Trace& stays stable across later insertions. Generation happens
+// Auspex generation can proceed concurrently. Values are shared_ptrs so a
+// returned Trace& stays stable across later insertions and snapshot holders
+// keep their entry alive independently of the pool. Generation happens
 // under the lock: a second thread asking for the same trace blocks until the
 // first finishes, then shares the result — exactly once per key.
 struct TraceCache {
   std::mutex mutex;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, std::unique_ptr<Trace>> traces;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::shared_ptr<const Trace>> traces;
 
-  const Trace& GetOrGenerate(std::uint64_t seed, std::uint64_t events, const char* label,
-                             const char* unit,
-                             Trace (*generate)(std::uint64_t seed, std::uint64_t events)) {
+  std::shared_ptr<const Trace> GetOrGenerate(
+      std::uint64_t seed, std::uint64_t events, const char* label, const char* unit,
+      Trace (*generate)(std::uint64_t seed, std::uint64_t events)) {
     const auto key = std::make_pair(seed, events);
     std::lock_guard<std::mutex> lock(mutex);
     auto it = traces.find(key);
     if (it == traces.end()) {
       std::fprintf(stderr, "[bench] generating %s trace (%llu %s)...\n", label,
                    static_cast<unsigned long long>(events), unit);
-      it = traces.emplace(key, std::make_unique<Trace>(generate(seed, events))).first;
+      it = traces.emplace(key, std::make_shared<Trace>(generate(seed, events))).first;
     }
-    return *it->second;
+    return it->second;
   }
 };
 
@@ -61,11 +62,19 @@ Trace GenerateAuspex(std::uint64_t seed, std::uint64_t events) {
 }  // namespace
 
 const Trace& SpriteTrace(const BenchOptions& options) {
+  return *SpriteTraceSnapshot(options);
+}
+
+const Trace& AuspexTrace(const BenchOptions& options) {
+  return *AuspexTraceSnapshot(options);
+}
+
+std::shared_ptr<const Trace> SpriteTraceSnapshot(const BenchOptions& options) {
   return SpriteCache().GetOrGenerate(options.seed, options.events, "Sprite-like", "events",
                                      &GenerateSprite);
 }
 
-const Trace& AuspexTrace(const BenchOptions& options) {
+std::shared_ptr<const Trace> AuspexTraceSnapshot(const BenchOptions& options) {
   return AuspexCache().GetOrGenerate(options.seed, options.auspex_events, "Auspex-like",
                                      "visible events", &GenerateAuspex);
 }

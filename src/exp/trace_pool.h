@@ -11,6 +11,7 @@
 #define COOPFS_SRC_EXP_TRACE_POOL_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "src/exp/options.h"
 #include "src/trace/event.h"
@@ -24,6 +25,16 @@ const Trace& SpriteTrace(const BenchOptions& options);
 // Generates (and memoizes) the Auspex-like snooped trace (237 clients; §4.4)
 // for (seed, auspex_events).
 const Trace& AuspexTrace(const BenchOptions& options);
+
+// Shared-ownership snapshots of the same memoized entries. The refcount is
+// bumped exactly once per call — on the acquiring thread, under the pool
+// lock — and the snapshot is immutable afterwards, so a sweep acquires the
+// snapshot once up front and fans the plain `const Trace&` out to its
+// workers with zero cross-thread refcount or allocator traffic. The entry
+// stays alive (and its address stable) for as long as any snapshot does,
+// even if the pool is cleared or replaced in the future.
+std::shared_ptr<const Trace> SpriteTraceSnapshot(const BenchOptions& options);
+std::shared_ptr<const Trace> AuspexTraceSnapshot(const BenchOptions& options);
 
 }  // namespace coopfs
 

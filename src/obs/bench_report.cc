@@ -6,6 +6,10 @@
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
+#if defined(__linux__)
+#include <cstdio>
+#include <cstring>
+#endif
 
 namespace coopfs {
 
@@ -15,6 +19,7 @@ std::string BenchReport::ToJson(int indent) const {
   json.Key("schema").Value(kBenchSchema);
   json.Key("coopfs_version").Value(kVersionString);
   json.Key("suite").Value(suite);
+  json.Key("host_threads").Value(static_cast<std::uint64_t>(host_threads));
   json.Key("series").BeginArray();
   for (const BenchSeries& s : series) {
     json.BeginObject();
@@ -78,7 +83,54 @@ Status ValidateBenchDocument(std::string_view json) {
   return Status::Ok();
 }
 
+Result<BenchReport> ParseBenchDocument(std::string_view json) {
+  COOPFS_RETURN_IF_ERROR(ValidateBenchDocument(json));
+  Result<JsonValue> parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const JsonValue& root = *parsed;
+  BenchReport report;
+  report.suite = root.FindString("suite")->AsString();
+  if (const JsonValue* host = root.FindNumber("host_threads"); host != nullptr) {
+    report.host_threads = static_cast<std::uint32_t>(host->AsDouble());
+  }
+  for (const JsonValue& entry : root.FindArray("series")->items()) {
+    BenchSeries series;
+    series.name = entry.FindString("name")->AsString();
+    series.unit = entry.FindString("unit")->AsString();
+    series.ops_per_sec = entry.FindNumber("ops_per_sec")->AsDouble();
+    series.wall_seconds = entry.FindNumber("wall_s")->AsDouble();
+    series.items = static_cast<std::uint64_t>(entry.FindNumber("items")->AsDouble());
+    series.peak_rss_bytes =
+        static_cast<std::uint64_t>(entry.FindNumber("peak_rss_bytes")->AsDouble());
+    report.series.push_back(std::move(series));
+  }
+  return report;
+}
+
 std::uint64_t CurrentPeakRssBytes() {
+#if defined(__linux__)
+  // Prefer VmHWM over getrusage: writing "5" to /proc/self/clear_refs (see
+  // TryResetPeakRssCounter) rewinds VmHWM but not ru_maxrss, and the
+  // rewindable counter is what gives per-series attribution.
+  if (std::FILE* status = std::fopen("/proc/self/status", "re"); status != nullptr) {
+    char line[256];
+    std::uint64_t hwm_kib = 0;
+    bool found = false;
+    while (std::fgets(line, sizeof(line), status) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %llu kB",
+                      reinterpret_cast<unsigned long long*>(&hwm_kib)) == 1) {
+        found = true;
+        break;
+      }
+    }
+    std::fclose(status);
+    if (found) {
+      return hwm_kib * 1024;
+    }
+  }
+#endif
 #if defined(__unix__) || defined(__APPLE__)
   struct rusage usage{};
   if (getrusage(RUSAGE_SELF, &usage) != 0) {
@@ -91,6 +143,20 @@ std::uint64_t CurrentPeakRssBytes() {
 #endif
 #else
   return 0;
+#endif
+}
+
+bool TryResetPeakRssCounter() {
+#if defined(__linux__)
+  // "5" resets the peak-RSS high-watermark (VmHWM) for the calling process.
+  std::FILE* clear_refs = std::fopen("/proc/self/clear_refs", "we");
+  if (clear_refs == nullptr) {
+    return false;
+  }
+  const bool ok = std::fputs("5", clear_refs) >= 0;
+  return std::fclose(clear_refs) == 0 && ok;
+#else
+  return false;
 #endif
 }
 

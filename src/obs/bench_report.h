@@ -26,11 +26,20 @@ struct BenchSeries {
   double ops_per_sec = 0.0;
   double wall_seconds = 0.0;
   std::uint64_t items = 0;          // Work units processed (e.g. trace events).
-  std::uint64_t peak_rss_bytes = 0; // Process peak RSS observed after the run.
+  std::uint64_t peak_rss_bytes = 0; // Peak RSS observed after the run. When
+                                    // the harness can reset the kernel's
+                                    // high-watermark (TryResetPeakRssCounter)
+                                    // this is per-series; otherwise it is the
+                                    // monotonic process-lifetime peak.
 };
 
 struct BenchReport {
   std::string suite = "perf_harness";
+  // Hardware concurrency of the machine that produced the document. The
+  // scaling gate needs this to know how much speedup was physically
+  // attainable: a 2-thread sweep cannot beat 1 thread on a 1-core host.
+  // 0 = not recorded (documents from before the field existed).
+  std::uint32_t host_threads = 0;
   std::vector<BenchSeries> series;
 
   std::string ToJson(int indent = 2) const;
@@ -41,11 +50,23 @@ struct BenchReport {
 
 // Structural validation of a "coopfs.bench/v1" document: schema tag, series
 // array, and per-series required fields. Used by perf_harness after writing
-// (--dry-run included) and by the round-trip tests.
+// (--dry-run included) and by the round-trip tests. `host_threads` is
+// optional (older documents predate it).
 Status ValidateBenchDocument(std::string_view json);
 
+// Validates and parses a "coopfs.bench/v1" document back into a BenchReport
+// (tools-side consumption: bench_compare, the scaling gate).
+Result<BenchReport> ParseBenchDocument(std::string_view json);
+
 // Peak resident set size of this process in bytes, or 0 where unsupported.
+// On Linux this reads VmHWM, which TryResetPeakRssCounter can rewind.
 std::uint64_t CurrentPeakRssBytes();
+
+// Resets the kernel's peak-RSS high-watermark for this process so the next
+// CurrentPeakRssBytes() reflects only memory touched after this call
+// (per-series attribution in perf_harness). Returns false where
+// unsupported; callers fall back to the monotonic process peak.
+bool TryResetPeakRssCounter();
 
 }  // namespace coopfs
 

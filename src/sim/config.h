@@ -9,6 +9,7 @@
 
 namespace coopfs {
 
+class Arena;
 class SnapshotSampler;
 class TraceRecorder;
 
@@ -87,6 +88,15 @@ struct SimulationConfig {
   // microseconds; <= 0 restricts the sampler to warm-up-end and run-end
   // samples only.
   Micros sample_interval = 0;
+
+  // Bulk-allocation arena for the run's context (src/common/arena.h): when
+  // non-null, the per-client/server BlockCaches, the directory, and the
+  // known-blocks indexes draw their storage from it instead of the global
+  // heap. The arena must outlive the run and is NOT reset by the simulator —
+  // the owner resets it between runs. Not synchronized: concurrent jobs
+  // (RunSimulationsParallel) must each use their own arena, or null. Null
+  // (the default) keeps everything on the global heap.
+  Arena* arena = nullptr;
 
   // Capacity hint for the replay hash indexes (directory, known-blocks).
   // 0 (the default) derives the hint from the aggregate cache capacity

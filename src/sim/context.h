@@ -11,11 +11,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "src/cache/block_cache.h"
 #include "src/cache/directory.h"
+#include "src/common/arena.h"
 #include "src/common/flat_hash_map.h"
+#include "src/common/inline_vec.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/model/server_load.h"
@@ -28,14 +31,22 @@ namespace coopfs {
 
 class SimContext {
  public:
+  // Known blocks of one file (learned from the trace). Spills past the
+  // inline capacity draw from the config's arena when one is attached.
+  using KnownBlockList = InlineVec<BlockId, 4>;
+
   SimContext(const SimulationConfig& config, std::uint32_t num_clients,
              std::size_t client_cache_blocks, std::size_t server_cache_blocks)
       : config_(config),
         num_clients_(num_clients),
+        arena_(config.arena),
+        directory_(config.arena),
         rng_(config.seed),
         counters_enabled_(config.collect_counters),
         tracer_(config.trace_recorder),
-        sampler_(config.snapshot_sampler) {
+        sampler_(config.snapshot_sampler),
+        seen_blocks_(config.arena),
+        file_blocks_(config.arena) {
     if (counters_enabled_) {
       directory_.set_op_counter(&counters_.directory_ops);
     }
@@ -44,13 +55,13 @@ class SimContext {
     }
     client_caches_.reserve(num_clients);
     for (std::uint32_t c = 0; c < num_clients; ++c) {
-      client_caches_.push_back(std::make_unique<BlockCache>(client_cache_blocks));
+      client_caches_.push_back(MakeCache(client_cache_blocks));
     }
     // The configured server memory is divided evenly among the servers.
     const std::uint32_t servers = std::max<std::uint32_t>(1, config.num_servers);
     server_caches_.reserve(servers);
     for (std::uint32_t s = 0; s < servers; ++s) {
-      server_caches_.push_back(std::make_unique<BlockCache>(server_cache_blocks / servers));
+      server_caches_.push_back(MakeCache(server_cache_blocks / servers));
     }
     // Pre-size the replay hash indexes so steady-state replay rarely (in
     // practice never) rehashes. The directory tracks at most the aggregate
@@ -222,21 +233,21 @@ class SimContext {
   // refreshes iterate this index instead of scanning caches.
   void NoteBlock(BlockId block) {
     if (seen_blocks_.Insert(block.Pack())) {
-      file_blocks_[block.file].push_back(block);
+      file_blocks_[block.file].push_back(block, arena_);
     }
   }
 
   // The reference is invalidated by the next NoteBlock/ForgetFile (flat-map
   // storage) — consume before mutating.
-  const std::vector<BlockId>& KnownBlocksOfFile(FileId file) const {
-    static const std::vector<BlockId> kEmpty;
-    const std::vector<BlockId>* blocks = file_blocks_.Find(file);
+  const KnownBlockList& KnownBlocksOfFile(FileId file) const {
+    static const KnownBlockList kEmpty;
+    const KnownBlockList* blocks = file_blocks_.Find(file);
     return blocks == nullptr ? kEmpty : *blocks;
   }
 
   // Forgets a deleted file's blocks (ids are never reused by the workloads).
   void ForgetFile(FileId file) {
-    std::vector<BlockId>* blocks = file_blocks_.Find(file);
+    KnownBlockList* blocks = file_blocks_.Find(file);
     if (blocks == nullptr) {
       return;
     }
@@ -247,10 +258,34 @@ class SimContext {
   }
 
  private:
+  // Caches live either on the heap (no arena) or placement-constructed in
+  // the arena, in which case the deleter runs the destructor but leaves the
+  // memory for the arena to reclaim wholesale.
+  struct CacheDeleter {
+    bool arena_backed = false;
+    void operator()(BlockCache* cache) const {
+      if (arena_backed) {
+        cache->~BlockCache();
+      } else {
+        delete cache;
+      }
+    }
+  };
+  using CachePtr = std::unique_ptr<BlockCache, CacheDeleter>;
+
+  CachePtr MakeCache(std::size_t capacity_blocks) {
+    if (arena_ == nullptr) {
+      return CachePtr(new BlockCache(capacity_blocks), CacheDeleter{false});
+    }
+    void* memory = arena_->Allocate(sizeof(BlockCache), alignof(BlockCache));
+    return CachePtr(new (memory) BlockCache(capacity_blocks, arena_), CacheDeleter{true});
+  }
+
   const SimulationConfig& config_;
   std::uint32_t num_clients_;
-  std::vector<std::unique_ptr<BlockCache>> client_caches_;
-  std::vector<std::unique_ptr<BlockCache>> server_caches_;
+  Arena* arena_ = nullptr;
+  std::vector<CachePtr> client_caches_;
+  std::vector<CachePtr> server_caches_;
   Directory directory_;
   Rng rng_;
   Micros now_ = 0;
@@ -263,7 +298,7 @@ class SimContext {
   SnapshotSampler* sampler_ = nullptr;
 
   FlatHashSet<std::uint64_t> seen_blocks_;
-  FlatHashMap<FileId, std::vector<BlockId>> file_blocks_;
+  FlatHashMap<FileId, KnownBlockList> file_blocks_;
 };
 
 }  // namespace coopfs

@@ -1,0 +1,218 @@
+// Unit and differential coverage for the sweep arena (src/common/arena.h).
+//
+// The arena's contract is narrow — bump allocation, chunk retention across
+// Reset(), no per-object free — but the sweep leans on every part of it: a
+// corrupted bump cursor silently cross-writes two jobs' cache slabs. The
+// randomized differential test therefore mirrors every arena allocation
+// with a heap reference, fills both with the same pattern, and verifies all
+// blocks stay intact (any overlap between arena allocations would clobber an
+// earlier pattern). The reuse tests pin the property the parallel-sweep fix
+// depends on: after warmup, Reset()+reallocate touches the heap zero times.
+#include "src/common/arena.h"
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/flat_hash_map.h"
+#include "src/common/inline_vec.h"
+#include "src/common/rng.h"
+
+namespace coopfs {
+namespace {
+
+bool IsAligned(const void* p, std::size_t alignment) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (alignment - 1)) == 0;
+}
+
+TEST(ArenaTest, AllocationsAreAlignedAndNonNull) {
+  Arena arena;
+  for (std::size_t alignment : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                std::size_t{8}, std::size_t{16}, std::size_t{64}}) {
+    for (std::size_t bytes : {std::size_t{1}, std::size_t{3}, std::size_t{17},
+                              std::size_t{256}}) {
+      void* p = arena.Allocate(bytes, alignment);
+      ASSERT_NE(p, nullptr) << "bytes=" << bytes << " align=" << alignment;
+      EXPECT_TRUE(IsAligned(p, alignment)) << "bytes=" << bytes << " align=" << alignment;
+    }
+  }
+}
+
+TEST(ArenaTest, ZeroByteAllocationsAreDistinctAndNonNull) {
+  Arena arena;
+  void* a = arena.Allocate(0);
+  void* b = arena.Allocate(0);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+}
+
+TEST(ArenaTest, OversizedRequestGetsItsOwnChunk) {
+  Arena arena(/*first_chunk_bytes=*/4096);
+  void* small = arena.Allocate(64);
+  ASSERT_NE(small, nullptr);
+  // Far larger than the first chunk: must still succeed, and the small
+  // allocation's bytes must survive.
+  std::memset(small, 0xAB, 64);
+  const std::size_t big_bytes = std::size_t{8} << 20;
+  auto* big = static_cast<unsigned char*>(arena.Allocate(big_bytes));
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xCD, big_bytes);
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(static_cast<unsigned char*>(small)[i], 0xAB);
+  }
+  EXPECT_GE(arena.stats().reserved_bytes, big_bytes);
+}
+
+TEST(ArenaTest, ResetRetainsChunksAndStopsHeapTraffic) {
+  Arena arena(/*first_chunk_bytes=*/4096);
+  const std::size_t kWorkingSet = 512 * 1024;
+  for (std::size_t i = 0; i < kWorkingSet / 128; ++i) {
+    ASSERT_NE(arena.Allocate(128), nullptr);
+  }
+  const Arena::Stats warm = arena.stats();
+  EXPECT_GT(warm.chunks, 1u);  // 4 KiB first chunk forces growth.
+  EXPECT_GE(warm.used_bytes, kWorkingSet);
+
+  // Ten more rounds of the same working set: chunk count and heap
+  // acquisitions must not move at all.
+  for (int round = 0; round < 10; ++round) {
+    arena.Reset();
+    EXPECT_EQ(arena.stats().used_bytes, 0u);
+    for (std::size_t i = 0; i < kWorkingSet / 128; ++i) {
+      ASSERT_NE(arena.Allocate(128), nullptr);
+    }
+  }
+  const Arena::Stats reused = arena.stats();
+  EXPECT_EQ(reused.chunk_allocations, warm.chunk_allocations);
+  EXPECT_EQ(reused.chunks, warm.chunks);
+  EXPECT_EQ(reused.reserved_bytes, warm.reserved_bytes);
+  EXPECT_EQ(reused.resets, 10u);
+}
+
+// Randomized differential test against a heap reference. Every arena block
+// is filled with a pattern derived from its sequence number; if any two
+// arena allocations overlapped (or Reset() failed to invalidate cleanly
+// between rounds), a later fill would corrupt an earlier block's pattern
+// and the final sweep would catch it.
+TEST(ArenaTest, RandomizedAllocationsMatchHeapReference) {
+  Rng rng(20260809);
+  Arena arena(/*first_chunk_bytes=*/4096);
+  for (int round = 0; round < 5; ++round) {
+    struct Block {
+      unsigned char* arena_ptr;
+      std::unique_ptr<unsigned char[]> reference;
+      std::size_t bytes;
+    };
+    std::vector<Block> blocks;
+    for (int i = 0; i < 400; ++i) {
+      const std::size_t bytes = 1 + rng.Next() % 3000;
+      const std::size_t alignment = std::size_t{1} << (rng.Next() % 7);  // 1..64
+      auto* p = static_cast<unsigned char*>(arena.Allocate(bytes, alignment));
+      ASSERT_NE(p, nullptr);
+      ASSERT_TRUE(IsAligned(p, alignment));
+      Block block{p, std::make_unique<unsigned char[]>(bytes), bytes};
+      for (std::size_t j = 0; j < bytes; ++j) {
+        const auto value = static_cast<unsigned char>((i * 131 + j * 7 + round) & 0xFF);
+        block.arena_ptr[j] = value;
+        block.reference[j] = value;
+      }
+      blocks.push_back(std::move(block));
+    }
+    for (const Block& block : blocks) {
+      ASSERT_EQ(std::memcmp(block.arena_ptr, block.reference.get(), block.bytes), 0);
+    }
+    arena.Reset();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ArenaAllocator: std containers drawing from the arena must behave exactly
+// like their heap-backed twins.
+// ---------------------------------------------------------------------------
+
+TEST(ArenaAllocatorTest, NullArenaFallsBackToHeap) {
+  std::vector<int, ArenaAllocator<int>> v;  // Default allocator: no arena.
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(i);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ArenaAllocatorTest, VectorMatchesHeapReference) {
+  Arena arena;
+  std::vector<std::uint64_t, ArenaAllocator<std::uint64_t>> arena_vec{
+      ArenaAllocator<std::uint64_t>(&arena)};
+  std::vector<std::uint64_t> reference;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t value = rng.Next();
+    arena_vec.push_back(value);
+    reference.push_back(value);
+  }
+  ASSERT_EQ(arena_vec.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(arena_vec[i], reference[i]);
+  }
+}
+
+TEST(ArenaAllocatorTest, EqualityFollowsTheArena) {
+  Arena a;
+  Arena b;
+  EXPECT_EQ(ArenaAllocator<int>(&a), ArenaAllocator<int>(&a));
+  EXPECT_EQ(ArenaAllocator<int>(&a), ArenaAllocator<long>(&a));
+  EXPECT_FALSE(ArenaAllocator<int>(&a) == ArenaAllocator<int>(&b));
+  EXPECT_EQ(ArenaAllocator<int>(), ArenaAllocator<int>(nullptr));
+}
+
+TEST(ArenaAllocatorTest, FlatHashMapOnArenaMatchesHeapTwin) {
+  Arena arena;
+  FlatHashMap<std::uint64_t, std::uint64_t> on_arena(&arena);
+  FlatHashMap<std::uint64_t, std::uint64_t> on_heap;
+  Rng rng(99);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t key = rng.Next() % 10000;
+    const std::uint64_t value = rng.Next();
+    on_arena[key] = value;
+    on_heap[key] = value;
+    keys.push_back(key);
+  }
+  ASSERT_EQ(on_arena.size(), on_heap.size());
+  for (const std::uint64_t key : keys) {
+    auto* a = on_arena.Find(key);
+    auto* h = on_heap.Find(key);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(h, nullptr);
+    ASSERT_EQ(*a, *h);
+  }
+}
+
+TEST(ArenaAllocatorTest, InlineVecSpillsIntoArenaAndCopiesToHeap) {
+  Arena arena;
+  InlineVec<std::uint32_t, 4> vec;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    vec.push_back(i, &arena);
+  }
+  ASSERT_EQ(vec.size(), 100u);
+  EXPECT_TRUE(vec.arena_backed());
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(vec[i], i);
+  }
+  // Copies always land on the global heap so they can outlive the arena.
+  InlineVec<std::uint32_t, 4> copy(vec);
+  EXPECT_FALSE(copy.arena_backed());
+  ASSERT_EQ(copy.size(), 100u);
+  arena.Reset();  // Invalidates `vec`'s storage, not the copy's.
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(copy[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace coopfs

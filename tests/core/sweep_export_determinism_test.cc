@@ -1,0 +1,157 @@
+// Multi-thread determinism of the full export pipeline.
+//
+// sweep_determinism_test already pins the per-result metrics bytes; this
+// suite pins the three *documents* an experiment run actually ships —
+// "coopfs.metrics/v1", "coopfs.run/v1", and the "coopfs.timeseries/v1"
+// JSONL — byte for byte across RunSimulationsParallel at 1, 2, 4, and 8
+// threads. Each concurrent job attaches its own SnapshotSampler (they are
+// not thread-safe by contract), and the manifest's informational
+// `threads`/`wall_time_s` fields are pinned to fixed values, because the
+// claim under test is that the *measured* content is identical no matter
+// how the sweep was scheduled.
+//
+// This suite runs under the tsan preset next to SweepDeterminismTest: the
+// per-job observer fan-out plus the per-worker arenas are exactly the state
+// a racy sweep would corrupt first.
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/sweep.h"
+#include "src/obs/metrics_exporter.h"
+#include "src/obs/run_manifest.h"
+#include "src/obs/snapshot_sampler.h"
+#include "src/trace/workload.h"
+
+namespace coopfs {
+namespace {
+
+constexpr std::uint64_t kSeed = 4242;
+constexpr std::uint64_t kEvents = 15'000;
+
+class SweepExportDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig workload = SmallTestWorkloadConfig(kSeed);
+    workload.num_events = kEvents;
+    trace_ = new Trace(GenerateWorkload(workload));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+
+  static SimulationConfig BaseConfig() {
+    SimulationConfig config;
+    config.WithClientCacheMiB(1).WithServerCacheMiB(4);
+    config.warmup_events = kEvents / 4;
+    config.sample_interval = 200'000'000;  // Simulated us: ~18 windows over the 1h trace.
+    return config;
+  }
+
+  // One sweep at `threads`, every job with its own sampler; returns the
+  // three serialized documents.
+  struct Exports {
+    std::string metrics;
+    std::string manifest;
+    std::string timeseries;
+  };
+
+  static Exports RunAndExport(std::size_t threads) {
+    const SimulationConfig base = BaseConfig();
+    const std::vector<PolicyKind> kinds = AllPolicyKinds();
+    std::vector<std::unique_ptr<SnapshotSampler>> samplers;
+    std::vector<SimulationJob> jobs;
+    for (PolicyKind kind : kinds) {
+      samplers.push_back(std::make_unique<SnapshotSampler>());
+      SimulationJob job;
+      job.config = base;
+      job.config.snapshot_sampler = samplers.back().get();
+      job.kind = kind;
+      jobs.push_back(job);
+    }
+
+    const std::vector<Result<SimulationResult>> results =
+        RunSimulationsParallel(*trace_, jobs, threads);
+    EXPECT_EQ(results.size(), jobs.size());
+
+    Exports exports;
+
+    MetricsExporter exporter;
+    exporter.SetConfig(base);
+    for (const Result<SimulationResult>& result : results) {
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      if (result.ok()) {
+        exporter.AddResult(*result);
+      }
+    }
+    exports.metrics = exporter.ToJson();
+    EXPECT_TRUE(ValidateMetricsDocument(exports.metrics).ok());
+
+    RunManifest manifest;
+    manifest.experiment = "sweep_export_determinism";
+    manifest.title = "Sweep export determinism";
+    manifest.description = "all-policy sweep for the thread-count byte test";
+    manifest.workloads = {"small_test"};
+    manifest.events = kEvents;
+    manifest.seed = kSeed;
+    manifest.sample_interval = base.sample_interval;
+    manifest.configs = {base};
+    manifest.num_results = results.size();
+    // Informational scheduling fields pinned: the document must not encode
+    // how wide the sweep that produced it happened to run.
+    manifest.threads = 1;
+    manifest.wall_time_s = 0.0;
+    manifest.command = "sweep_export_determinism_test";
+    exports.manifest = RunManifestToJson(manifest);
+    EXPECT_TRUE(ValidateRunManifestDocument(exports.manifest).ok());
+
+    std::vector<SnapshotRun> runs;
+    for (const auto& sampler : samplers) {
+      for (const SnapshotRun& run : sampler->runs()) {
+        runs.push_back(run);
+      }
+    }
+    EXPECT_FALSE(runs.empty());
+    TraceExportMetadata metadata;
+    metadata.seed = kSeed;
+    metadata.trace_events = trace_->size();
+    metadata.workload = "small_test";
+    exports.timeseries = TimeseriesToJsonl(runs, metadata);
+    EXPECT_TRUE(ValidateTimeseriesDocument(exports.timeseries).ok());
+
+    return exports;
+  }
+
+  static Trace* trace_;
+};
+
+Trace* SweepExportDeterminismTest::trace_ = nullptr;
+
+TEST_F(SweepExportDeterminismTest, SweepThreadCountDoesNotChangeTheBytes) {
+  const Exports serial = RunAndExport(1);
+  ASSERT_FALSE(serial.metrics.empty());
+  ASSERT_FALSE(serial.manifest.empty());
+  ASSERT_FALSE(serial.timeseries.empty());
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const Exports wide = RunAndExport(threads);
+    EXPECT_EQ(wide.metrics, serial.metrics) << threads << " threads: metrics diverged";
+    EXPECT_EQ(wide.manifest, serial.manifest) << threads << " threads: manifest diverged";
+    EXPECT_EQ(wide.timeseries, serial.timeseries)
+        << threads << " threads: timeseries diverged";
+  }
+}
+
+TEST_F(SweepExportDeterminismTest, RepeatedWideRunsExportIdenticalBytes) {
+  const Exports first = RunAndExport(4);
+  const Exports second = RunAndExport(4);
+  EXPECT_EQ(first.metrics, second.metrics);
+  EXPECT_EQ(first.manifest, second.manifest);
+  EXPECT_EQ(first.timeseries, second.timeseries);
+}
+
+}  // namespace
+}  // namespace coopfs

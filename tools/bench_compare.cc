@@ -1,71 +1,67 @@
-// Perf-regression gate: compares two "coopfs.bench/v1" documents.
+// Perf-regression gate: compares "coopfs.bench/v1" documents.
 //
 // Usage: bench_compare BASELINE.json CANDIDATE.json [--threshold PCT]
+//            [--scaling-floor F] [--mono-tolerance F] [--no-scaling-gate]
+//        bench_compare DOC.json [--scaling-floor F] [--mono-tolerance F]
 //
-// Prints a per-series throughput delta table for every series present in
-// both documents, then exits non-zero if any replay series (name starting
-// with "replay_") in the candidate is more than PCT percent slower than the
-// baseline (default 10), or if a baseline replay series is missing from the
-// candidate. Non-replay series (microbenches, exports, parallel sweeps) are
-// reported but do not gate: they are noisier and machine-dependent, while
-// the replay series are the numbers the paper reproduction actually spends
-// its time in. CI runs this against the committed BENCH_coopfs.json; see
+// Two-document mode prints a per-series throughput delta table for every
+// series present in both documents, then exits non-zero if any replay
+// series (name starting with "replay_") in the candidate is more than PCT
+// percent slower than the baseline (default 10), or if a baseline replay
+// series is missing from the candidate. Non-replay series (microbenches,
+// exports) are reported but do not gate: they are noisier and
+// machine-dependent, while the replay series are the numbers the paper
+// reproduction actually spends its time in.
+//
+// In both modes the candidate (or sole) document's parallel_sweep_<T>t
+// series additionally pass through the scaling-efficiency gate
+// (src/obs/scaling_gate.h): the 2t/1t speedup must reach the efficiency
+// floor times what the document's host_threads made attainable, and
+// throughput must stay monotonic (within tolerance) as threads are added.
+// --no-scaling-gate disables that check (two-document mode only).
+//
+// CI runs this against the committed BENCH_coopfs.json; see
 // docs/performance.md for the re-baselining workflow.
+//
+// Exit codes: 0 = all gates pass, 1 = a gate failed, 2 = usage/load error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/common/format.h"
-#include "src/common/json.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/scaling_gate.h"
 
 namespace coopfs {
 namespace {
 
-struct SeriesSample {
-  std::string name;
-  double ops_per_sec = 0.0;
-};
-
-// Loads, schema-validates, and flattens one bench document.
-bool LoadSeries(const std::string& path, std::vector<SeriesSample>* out) {
+// Loads and schema-validates one bench document.
+std::optional<BenchReport> LoadReport(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "bench_compare: cannot open %s\n", path.c_str());
-    return false;
+    return std::nullopt;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  const std::string text = buffer.str();
-  if (Status status = ValidateBenchDocument(text); !status.ok()) {
+  Result<BenchReport> report = ParseBenchDocument(buffer.str());
+  if (!report.ok()) {
     std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
-                 status.ToString().c_str());
-    return false;
+                 report.status().ToString().c_str());
+    return std::nullopt;
   }
-  Result<JsonValue> doc = ParseJson(text);
-  if (!doc.ok()) {
-    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
-                 doc.status().ToString().c_str());
-    return false;
-  }
-  const JsonValue* series = doc->FindArray("series");
-  for (const JsonValue& entry : series->items()) {
-    SeriesSample sample;
-    sample.name = entry.FindString("name")->AsString();
-    sample.ops_per_sec = entry.FindNumber("ops_per_sec")->AsDouble();
-    out->push_back(std::move(sample));
-  }
-  return true;
+  return *std::move(report);
 }
 
-const SeriesSample* FindByName(const std::vector<SeriesSample>& series,
-                               std::string_view name) {
-  for (const SeriesSample& sample : series) {
+const BenchSeries* FindByName(const std::vector<BenchSeries>& series,
+                              std::string_view name) {
+  for (const BenchSeries& sample : series) {
     if (sample.name == name) {
       return &sample;
     }
@@ -75,36 +71,15 @@ const SeriesSample* FindByName(const std::vector<SeriesSample>& series,
 
 bool IsGated(std::string_view name) { return name.rfind("replay_", 0) == 0; }
 
-int Run(int argc, char** argv) {
-  double threshold_pct = 10.0;
-  std::vector<std::string> paths;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
-      threshold_pct = std::strtod(argv[++i], nullptr);
-    } else {
-      paths.emplace_back(argv[i]);
-    }
-  }
-  if (paths.size() != 2) {
-    std::fprintf(stderr,
-                 "usage: bench_compare BASELINE.json CANDIDATE.json"
-                 " [--threshold PCT]\n");
-    return 2;
-  }
-
-  std::vector<SeriesSample> baseline;
-  std::vector<SeriesSample> candidate;
-  if (!LoadSeries(paths[0], &baseline) || !LoadSeries(paths[1], &candidate)) {
-    return 2;
-  }
-
+// The >10%-slower replay gate (two-document mode). Appends failure lines.
+void CheckReplayRegressions(const BenchReport& baseline, const BenchReport& candidate,
+                            double threshold_pct, std::vector<std::string>* failures) {
   TableFormatter table({"Series", "Baseline", "Candidate", "Delta", "Gate"});
-  std::vector<std::string> failures;
-  for (const SeriesSample& base : baseline) {
-    const SeriesSample* cand = FindByName(candidate, base.name);
+  for (const BenchSeries& base : baseline.series) {
+    const BenchSeries* cand = FindByName(candidate.series, base.name);
     if (cand == nullptr) {
       if (IsGated(base.name)) {
-        failures.push_back(base.name + ": missing from candidate");
+        failures->push_back(base.name + ": missing from candidate");
       }
       continue;
     }
@@ -118,21 +93,92 @@ int Run(int argc, char** argv) {
                   FormatDouble(delta_pct, 1) + " %",
                   regressed ? "FAIL" : (gated ? "ok" : "-")});
     if (regressed) {
-      failures.push_back(base.name + ": " + FormatDouble(-delta_pct, 1) +
-                         "% slower (threshold " +
-                         FormatDouble(threshold_pct, 1) + "%)");
+      failures->push_back(base.name + ": " + FormatDouble(-delta_pct, 1) +
+                          "% slower (threshold " +
+                          FormatDouble(threshold_pct, 1) + "%)");
     }
   }
   std::printf("%s", table.ToString().c_str());
+}
+
+int Run(int argc, char** argv) {
+  double threshold_pct = 10.0;
+  ScalingGateOptions scaling;
+  bool scaling_gate_enabled = true;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold_pct = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--scaling-floor") == 0 && i + 1 < argc) {
+      scaling.efficiency_floor = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--mono-tolerance") == 0 && i + 1 < argc) {
+      scaling.monotonicity_tolerance = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--no-scaling-gate") == 0) {
+      scaling_gate_enabled = false;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty() || paths.size() > 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare BASELINE.json CANDIDATE.json"
+                 " [--threshold PCT] [--scaling-floor F] [--mono-tolerance F]"
+                 " [--no-scaling-gate]\n"
+                 "       bench_compare DOC.json [--scaling-floor F]"
+                 " [--mono-tolerance F]\n");
+    return 2;
+  }
+
+  std::vector<std::string> failures;
+  std::optional<BenchReport> candidate;
+  if (paths.size() == 2) {
+    std::optional<BenchReport> baseline = LoadReport(paths[0]);
+    candidate = LoadReport(paths[1]);
+    if (!baseline.has_value() || !candidate.has_value()) {
+      return 2;
+    }
+    CheckReplayRegressions(*baseline, *candidate, threshold_pct, &failures);
+    if (failures.empty()) {
+      std::printf("bench_compare: no replay series regressed more than %s%%\n",
+                  FormatDouble(threshold_pct, 1).c_str());
+    }
+  } else {
+    candidate = LoadReport(paths[0]);
+    if (!candidate.has_value()) {
+      return 2;
+    }
+  }
+
+  if (scaling_gate_enabled) {
+    const ScalingGateResult gate = EvaluateScalingGate(*candidate, scaling);
+    for (const std::string& note : gate.notes) {
+      std::printf("bench_compare: note: %s\n", note.c_str());
+    }
+    if (!gate.applicable) {
+      std::printf("bench_compare: scaling gate not applicable (no sweep series)\n");
+    } else if (gate.passed) {
+      std::printf(
+          "bench_compare: scaling gate passed (floor %s, monotonicity tolerance %s)\n",
+          FormatDouble(scaling.efficiency_floor, 2).c_str(),
+          FormatDouble(scaling.monotonicity_tolerance, 2).c_str());
+    } else {
+      for (const std::string& failure : gate.failures) {
+        failures.push_back("scaling: " + failure);
+      }
+    }
+  }
 
   if (!failures.empty()) {
     for (const std::string& failure : failures) {
-      std::fprintf(stderr, "bench_compare: REGRESSION %s\n", failure.c_str());
+      if (failure.rfind("scaling: ", 0) == 0) {
+        std::fprintf(stderr, "bench_compare: SCALING %s\n",
+                     failure.c_str() + std::strlen("scaling: "));
+      } else {
+        std::fprintf(stderr, "bench_compare: REGRESSION %s\n", failure.c_str());
+      }
     }
     return 1;
   }
-  std::printf("bench_compare: no replay series regressed more than %s%%\n",
-              FormatDouble(threshold_pct, 1).c_str());
   return 0;
 }
 
